@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the hot kernels (profiling-driven; see the guides).
+
+These are the inner loops the figure harnesses spend their time in:
+line-of-sight masking, the orientation-independent coverability kernel, the
+Algorithm-1 sweep, candidate generation, and one full HIPO solve.
+"""
+
+import numpy as np
+
+from repro.core import CandidateGenerator, extract_pdcs_at_point, solve_hipo
+from repro.experiments import random_scenario
+from repro.geometry import visible_mask
+
+
+def _scenario(seed=1, device_multiple=4):
+    return random_scenario(np.random.default_rng(seed), device_multiple=device_multiple)
+
+
+def bench_visible_mask(benchmark):
+    sc = _scenario()
+    ev = sc.evaluator()
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0, 40, size=(64, 2))
+    benchmark(lambda: [visible_mask(p, ev.positions, sc.obstacles) for p in points])
+
+
+def bench_coverable_kernel(benchmark):
+    sc = _scenario()
+    ev = sc.evaluator()
+    ct = sc.charger_types[2]
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0, 40, size=(64, 2))
+
+    def run():
+        ev.clear_cache()
+        for p in points:
+            ev.coverable(ct, p)
+
+    benchmark(run)
+
+
+def bench_pdcs_sweep(benchmark):
+    sc = _scenario()
+    ev = sc.evaluator()
+    ct = sc.charger_types[2]
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0, 40, size=(64, 2))
+    benchmark(lambda: [extract_pdcs_at_point(ev, ct, p) for p in points])
+
+
+def bench_candidate_generation(benchmark):
+    sc = _scenario(device_multiple=1)
+    gen = CandidateGenerator(sc)
+    benchmark.pedantic(
+        lambda: [gen.positions(ct) for ct in sc.charger_types], rounds=2, iterations=1
+    )
+
+
+def bench_full_solve_small(benchmark):
+    sc = _scenario(device_multiple=1)
+    benchmark.pedantic(lambda: solve_hipo(sc), rounds=2, iterations=1)
+
+
+def bench_full_solve_default(benchmark):
+    sc = _scenario(device_multiple=4)
+    benchmark.pedantic(lambda: solve_hipo(sc), rounds=1, iterations=1)

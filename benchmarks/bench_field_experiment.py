@@ -1,0 +1,29 @@
+"""§7 field experiment (Figs. 24-26), simulated substrate.
+
+Paper result: HIPO's chargers hug the sensor cluster and all ten devices
+receive charging utility, while GPPDCS Triangle and GPAD Triangle leave
+several devices uncharged; HIPO's power CDF reaches 1 slowest (most power
+delivered overall).
+"""
+
+import numpy as np
+
+from repro.experiments import cdf_points, field_comparison
+
+
+def bench_field_experiment(benchmark, report):
+    result = benchmark.pedantic(lambda: field_comparison(), rounds=1, iterations=1)
+    lines = ["Fig 25 - per-device charging utility:", result.format(), ""]
+    lines.append("Fig 26 - received power CDF (mW, fraction):")
+    for name, p in result.powers.items():
+        values, frac = cdf_points(p)
+        lines.append(f"{name:<20} " + " ".join(f"{v:.1f}:{f:.1f}" for v, f in zip(values, frac)))
+    lines.append("")
+    for name, u in result.utilities.items():
+        lines.append(f"{name:<20} uncharged: {int((u <= 0).sum())} of {len(u)}")
+    report("field_experiment", "\n".join(lines))
+    # Paper's qualitative claims.
+    assert int((result.utilities["HIPO"] <= 0).sum()) == 0
+    assert result.utilities["HIPO"].mean() >= result.utilities["GPPDCS Triangle"].mean()
+    assert result.utilities["HIPO"].mean() >= result.utilities["GPAD Triangle"].mean()
+    assert result.powers["HIPO"].sum() >= result.powers["GPAD Triangle"].sum()

@@ -1,0 +1,25 @@
+"""Fig. 10 — one-instance comparison of all nine algorithms.
+
+Paper: utilities 0.8495 (HIPO), 0.6932/0.6348 (GPPDCS T/S), 0.6191/0.6006
+(GPAD T/S), 0.4867/0.4605 (GPAR T/S), 0.4046 (RPAD), 0.1000 (RPAR) —
+HIPO charges every device, baselines leave many dark.
+"""
+
+from repro.experiments import fig10_instance
+
+from conftest import pick
+
+
+def bench_fig10_instance(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig10_instance(seed=7, charger_multiple=pick(4, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    ev = result.scenario.evaluator()
+    lines = [result.format(), "", "uncharged devices:"]
+    for name, strategies in result.placements.items():
+        dark = int((ev.total_power(strategies) <= 0).sum())
+        lines.append(f"{name:<20} {dark} of {result.scenario.num_devices}")
+    report("fig10_instance", "\n".join(lines))
+    assert result.utilities["HIPO"] == max(result.utilities.values())

@@ -1,0 +1,35 @@
+"""Fig. 11(a) — charging utility vs number of chargers (1x-8x).
+
+Paper shape: every algorithm increases monotonically with Ns; HIPO rises
+fastest and approaches utility 1 around 5x; headline aggregation "HIPO
+outperforms GPPDCS-T/S, GPAD-T/S, GPAR-T/S, RPAD, RPAR by 33.49%, 38.32%,
+43.43%, 47.65%, 116.60%, 144.15%, 166.85%, 970.37%".
+"""
+
+from repro.experiments import fig11a_num_chargers, format_percent
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig11a_num_chargers(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig11a_num_chargers(
+            multiples=pick((1, 2, 4, 6, 8), (1, 2, 3, 4, 5, 6, 7, 8)),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    imp = table.improvement_over("HIPO")
+    lines = [table.format(), "mean improvement of HIPO over:"]
+    lines += [f"  {name:<18} {format_percent(v)}" for name, v in imp.items()]
+    report("fig11a_num_chargers", "\n".join(lines))
+    hipo = table.series["HIPO"]
+    # Shape checks: HIPO grows with Ns and dominates every baseline pointwise
+    # on average.
+    assert hipo[-1] >= hipo[0]
+    for name, vals in table.series.items():
+        if name != "HIPO":
+            assert sum(hipo) >= sum(vals)

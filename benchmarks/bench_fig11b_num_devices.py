@@ -1,0 +1,32 @@
+"""Fig. 11(b) — charging utility vs number of devices (1x-8x).
+
+Paper shape: utility decreases monotonically with No (fixed charger fleet
+spread across more devices); HIPO stays on top throughout; decay slows as
+devices densify (one charger covers several).
+"""
+
+from repro.experiments import fig11b_num_devices, format_percent
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig11b_num_devices(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig11b_num_devices(
+            multiples=pick((1, 2, 4, 8), (1, 2, 3, 4, 5, 6, 7, 8)),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    imp = table.improvement_over("HIPO")
+    lines = [table.format(), "mean improvement of HIPO over:"]
+    lines += [f"  {name:<18} {format_percent(v)}" for name, v in imp.items()]
+    report("fig11b_num_devices", "\n".join(lines))
+    hipo = table.series["HIPO"]
+    assert hipo[0] >= hipo[-1]  # decreasing trend
+    for name, vals in table.series.items():
+        if name != "HIPO":
+            assert sum(hipo) >= sum(vals)

@@ -1,0 +1,30 @@
+"""Fig. 11(d) — charging utility vs receiving-angle scale (0.6x-2x).
+
+Paper shape: all algorithms increase as devices listen over wider apertures.
+"""
+
+from repro.experiments import fig11d_receiving_angle, format_percent
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig11d_receiving_angle(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig11d_receiving_angle(
+            factors=pick((0.6, 1.0, 1.4, 2.0), (0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    imp = table.improvement_over("HIPO")
+    lines = [table.format(), "mean improvement of HIPO over:"]
+    lines += [f"  {name:<18} {format_percent(v)}" for name, v in imp.items()]
+    report("fig11d_receiving_angle", "\n".join(lines))
+    hipo = table.series["HIPO"]
+    assert hipo[-1] >= hipo[0] - 0.05  # increasing trend
+    for name, vals in table.series.items():
+        if name != "HIPO":
+            assert sum(hipo) >= sum(vals)

@@ -1,0 +1,31 @@
+"""Fig. 11(e) — charging utility vs power threshold Pth (0.02-0.09).
+
+Paper shape: utility roughly stable at small Pth, then gradually decreases
+as saturating a device needs more chargers; HIPO dominates throughout.
+"""
+
+from repro.experiments import fig11e_power_threshold, format_percent
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig11e_power_threshold(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig11e_power_threshold(
+            thresholds=pick((0.02, 0.05, 0.09), (0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09)),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    imp = table.improvement_over("HIPO")
+    lines = [table.format(), "mean improvement of HIPO over:"]
+    lines += [f"  {name:<18} {format_percent(v)}" for name, v in imp.items()]
+    report("fig11e_power_threshold", "\n".join(lines))
+    hipo = table.series["HIPO"]
+    assert hipo[0] >= hipo[-1] - 0.02  # higher threshold cannot help
+    for name, vals in table.series.items():
+        if name != "HIPO":
+            assert sum(hipo) >= sum(vals)

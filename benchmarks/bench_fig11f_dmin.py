@@ -1,0 +1,33 @@
+"""Fig. 11(f) — charging utility vs nearest-distance scale (0x-1.4x).
+
+Paper shape: utility decreases as the keep-out ring dmin grows (the charging
+area shrinks), and decreases faster at large dmin; comparison algorithms
+suffer more because their predetermined positions strand devices inside the
+keep-out.
+"""
+
+from repro.experiments import fig11f_dmin, format_percent
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig11f_dmin(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig11f_dmin(
+            factors=pick((0.0, 0.6, 1.0, 1.4), (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4)),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    imp = table.improvement_over("HIPO")
+    lines = [table.format(), "mean improvement of HIPO over:"]
+    lines += [f"  {name:<18} {format_percent(v)}" for name, v in imp.items()]
+    report("fig11f_dmin", "\n".join(lines))
+    hipo = table.series["HIPO"]
+    assert hipo[0] >= hipo[-1] - 0.02  # shrinking ring cannot help
+    for name, vals in table.series.items():
+        if name != "HIPO":
+            assert sum(hipo) >= sum(vals)

@@ -1,0 +1,40 @@
+"""Fig. 12 — distributed PDCS extraction time vs number of devices.
+
+Paper shape (log-scale y): distributed runs cut time dramatically —
+"5/10/15/20/25-distributed reduce the time consumption by 80.10%, 88.79%,
+91.05%, 92.32%, 92.39% on average" — with diminishing returns as the
+machine count approaches the device count.
+"""
+
+import numpy as np
+
+from repro.experiments import fig12_distributed_time
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig12_distributed(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig12_distributed_time(
+            multiples=pick((1, 2, 4, 8), (1, 2, 3, 4, 5, 6, 7, 8)),
+            machines=(5, 10, 15, 20, 25),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    serial = np.array(table.series["Non-Dis"])
+    lines = [table.format(), "mean time reduction vs non-distributed:"]
+    for m in (5, 10, 15, 20, 25):
+        dist = np.array(table.series[f"Dis-{m}"])
+        reduction = (1.0 - dist / serial).mean() * 100.0
+        lines.append(f"  Dis-{m:<3} {reduction:.2f}%")
+    report("fig12_distributed", "\n".join(lines))
+    # Shape: more machines => no slower; distribution always helps.
+    for m1, m2 in ((5, 10), (10, 15), (15, 20), (20, 25)):
+        a = np.array(table.series[f"Dis-{m1}"])
+        b = np.array(table.series[f"Dis-{m2}"])
+        assert np.all(b <= a + 1e-9)
+    assert np.all(np.array(table.series["Dis-5"]) <= serial + 1e-9)

@@ -1,0 +1,37 @@
+"""Fig. 13 — HIPO utility vs No under per-type power-threshold offsets.
+
+Paper shape: all five delta settings follow the same decreasing-in-No
+pattern as Fig. 11(b); settings where higher-numbered device types (which
+receive more power per charger) get *larger* thresholds score lower; the
+average spread between settings is only ~3.2%.
+"""
+
+import numpy as np
+
+from repro.experiments import fig13_threshold_deltas
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig13_threshold_deltas(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig13_threshold_deltas(
+            deltas=(-0.01, -0.005, 0.0, 0.005, 0.01),
+            multiples=pick((1, 2, 4, 8), (1, 2, 3, 4, 5, 6, 7, 8)),
+            repeats=_repeats(2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = {k: np.array(v) for k, v in table.series.items()}
+    means = {k: v.mean() for k, v in series.items()}
+    spread = (max(means.values()) - min(means.values())) / max(means.values()) * 100.0
+    lines = [table.format(), f"relative spread between settings: {spread:.2f}%"]
+    report("fig13_threshold_deltas", "\n".join(lines))
+    # Shape: each setting decreases with device count.
+    for name, vals in series.items():
+        assert vals[0] >= vals[-1] - 0.05, name
+    # Negative delta (cheaper thresholds for high-power device types) >= positive.
+    assert means["-0.01"] >= means["+0.01"] - 0.05

@@ -1,0 +1,34 @@
+"""Fig. 14 — HIPO utility surface over (dmax scale, dmin/dmax ratio).
+
+Paper shape: utility grows with dmax, much faster when dmin is near zero;
+at high dmin/dmax ratios the ring is thin and utility stays low even for
+large dmax.
+"""
+
+import numpy as np
+
+from repro.experiments import fig14_dmin_dmax_surface
+
+from repro.experiments.sweeps import bench_repeats as _repeats
+
+from conftest import pick
+
+
+def bench_fig14_surface(benchmark, report):
+    table = benchmark.pedantic(
+        lambda: fig14_dmin_dmax_surface(
+            dmax_factors=pick((0.6, 1.0, 2.0), (0.6, 0.8, 1.0, 1.25, 1.5, 2.0)),
+            ratios=pick((0.0, 0.45, 0.9), (0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9)),
+            repeats=_repeats(1),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig14_surface", table.format())
+    # Shape: for fixed ratio, larger dmax helps; for fixed dmax, a thin ring
+    # (ratio near 1) hurts relative to no keep-out.
+    for name, vals in table.series.items():
+        assert vals[-1] >= vals[0] - 0.1, name
+    first = list(table.series)[0]
+    last = list(table.series)[-1]
+    assert np.mean(table.series[first]) >= np.mean(table.series[last]) - 0.05

@@ -1,0 +1,28 @@
+"""Fig. 15 — CDF of per-device charging utility, one 40-device topology.
+
+Paper shape: under HIPO no device sits below utility 0.5, while the
+comparison algorithms leave a large mass of devices at zero utility; HIPO's
+distribution is balanced and high.
+"""
+
+import numpy as np
+
+from repro.experiments import fig15_utility_cdf
+
+
+def bench_fig15_cdf(benchmark, report):
+    out = benchmark.pedantic(lambda: fig15_utility_cdf(seed=20), rounds=1, iterations=1)
+    lines = ["fraction of devices at utility 0 / below 0.5 / at 1.0:"]
+    for name, u in out.items():
+        lines.append(
+            f"{name:<20} {np.mean(u <= 0):.3f} / {np.mean(u < 0.5):.3f} / {np.mean(u >= 1.0 - 1e-9):.3f}"
+        )
+    lines.append("")
+    lines.append("sorted per-device utilities (CDF x-samples):")
+    for name, u in out.items():
+        lines.append(f"{name:<20} " + " ".join(f"{v:.2f}" for v in u))
+    report("fig15_utility_cdf", "\n".join(lines))
+    hipo = out["HIPO"]
+    # HIPO leaves the fewest devices uncharged.
+    for name, u in out.items():
+        assert np.mean(hipo <= 0) <= np.mean(u <= 0) + 1e-9, name

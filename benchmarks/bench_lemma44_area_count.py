@@ -1,0 +1,36 @@
+"""Empirical check of Lemma 4.4 — number of feasible geometric areas.
+
+Lemma 4.4 bounds the number of feasible geometric areas per charger type by
+``O(No² ε1⁻² Nh² c²)``.  We count distinct area signatures over a sampling
+lattice for growing device counts and report the ratio to the bound
+(constants dropped), which must stay below 1 and shrink as the bound's
+quadratic terms outpace the actual geometry.
+"""
+
+import numpy as np
+
+from repro.core import FeasibleAreaIndex
+from repro.experiments import random_scenario
+
+
+def bench_lemma44_area_count(benchmark, report):
+    def run():
+        rows = []
+        for mult in (1, 2, 3):
+            sc = random_scenario(np.random.default_rng(77), device_multiple=mult)
+            idx = FeasibleAreaIndex(sc)
+            ct = sc.charger_types[2]  # widest aperture, smallest ring
+            count = idx.count_areas(ct, resolution=72)
+            rows.append((sc.num_devices, count.distinct_signatures, count.lemma44_bound))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'devices':>8} {'areas (empirical)':>18} {'Lemma 4.4 bound':>16} {'ratio':>8}"]
+    for no, areas, bound in rows:
+        lines.append(f"{no:>8d} {areas:>18d} {bound:>16.0f} {areas / bound:>8.4f}")
+    report("lemma44_area_count", "\n".join(lines))
+    for no, areas, bound in rows:
+        assert areas <= bound
+    # Quadratic growth in the bound outpaces empirical growth.
+    ratios = [areas / bound for _no, areas, bound in rows]
+    assert ratios[-1] <= ratios[0] + 1e-9

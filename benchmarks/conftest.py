@@ -1,0 +1,47 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Each ``bench_*`` file regenerates one paper table/figure: the benchmark
+fixture times the harness, and the regenerated series is printed and saved
+under ``benchmarks/results/`` so the paper-vs-measured comparison in
+EXPERIMENTS.md can be refreshed.
+
+Scaling knobs (environment variables):
+
+``REPRO_BENCH_REPEATS``
+    Random topologies per sweep point (paper: 100; default here: 2).
+``REPRO_BENCH_FULL``
+    Set to 1 to run the paper's full x-axis ranges instead of the reduced
+    default grids.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+
+def pick(reduced, full):
+    """Choose the reduced or full parameter grid."""
+    return full if full_scale() else reduced
+
+
+@pytest.fixture
+def report():
+    """Save a regenerated series under benchmarks/results and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _report

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Sec. 8 extensions: redeployment, deployment budgets, and fairness.
+
+1. Solve HIPO for a morning topology and an evening topology of the same
+   room; plan the charger transfer minimizing total and bottleneck
+   switching overhead (Sec. 8.1, Hungarian + Hall/binary-search).
+2. Re-solve under a deployment-cost budget (Sec. 8.2, cost-benefit greedy
+   with TSP travel costs).
+3. Compare the utilitarian objective against max-min (simulated annealing)
+   and proportional fairness (Sec. 8.3).
+
+Run:  python examples/redeployment_and_fairness.py
+"""
+
+import numpy as np
+
+from repro import solve_hipo
+from repro.core import build_candidate_set
+from repro.extensions import (
+    DeploymentCostModel,
+    budgeted_placement,
+    maxmin_placement,
+    placement_cost,
+    proportional_fair_placement,
+    redeploy,
+)
+from repro.experiments import small_scenario
+
+
+def by_type(strategies):
+    out = {}
+    for s in strategies:
+        out.setdefault(s.ctype.name, []).append(s)
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    morning = small_scenario(rng, num_devices=10)
+    evening = morning.with_devices(small_scenario(rng, num_devices=10).devices)
+
+    sol_m = solve_hipo(morning)
+    sol_e = solve_hipo(evening)
+    print(f"morning utility {sol_m.utility:.4f}, evening utility {sol_e.utility:.4f}")
+
+    # --- Sec. 8.1: redeployment -----------------------------------------
+    old, new = by_type(sol_m.strategies), by_type(sol_e.strategies)
+    common = {k for k in old if k in new and len(old[k]) == len(new[k])}
+    old = {k: old[k] for k in common}
+    new = {k: new[k] for k in common}
+    if common:
+        t_plan = redeploy(old, new, objective="total")
+        m_plan = redeploy(old, new, objective="max")
+        print("\nSec 8.1 — redeployment overhead (distance + rotation):")
+        print(f"  min-total : total={t_plan.total_overhead:7.2f}  max={t_plan.max_overhead:6.2f}")
+        print(f"  min-max   : total={m_plan.total_overhead:7.2f}  max={m_plan.max_overhead:6.2f}")
+
+    # --- Sec. 8.2: deployment budget -------------------------------------
+    candidates = build_candidate_set(evening)
+    model = DeploymentCostModel(base=(0.0, 0.0), power_of_type={"charger-1": 1.0, "charger-2": 2.0, "charger-3": 3.0})
+    print("\nSec 8.2 — budgeted deployment (cost-benefit greedy):")
+    for budget in (20.0, 60.0, 200.0):
+        sol = budgeted_placement(evening, candidates, budget, cost_model=model)
+        tour_cost = placement_cost(sol.strategies, model)
+        print(
+            f"  budget {budget:6.1f} -> {len(sol.strategies)} chargers, "
+            f"utility {sol.utility:.4f}, tour-based cost {tour_cost:.1f}"
+        )
+
+    # --- Sec. 8.3: fairness ----------------------------------------------
+    print("\nSec 8.3 — fairness objectives on the evening topology:")
+    util = solve_hipo(evening)
+    u_vec = evening.evaluator().total_power(util.strategies)
+    u_util = np.minimum(1.0, u_vec / evening.evaluator().thresholds)
+    print(
+        f"  utilitarian (Alg. 3)  mean={u_util.mean():.4f}  min={u_util.min():.4f}"
+    )
+    mm = maxmin_placement(evening, candidates, np.random.default_rng(0), method="sa", iterations=800)
+    print(f"  max-min (SA)          mean={mm.mean_utility:.4f}  min={mm.min_utility:.4f}")
+    pf = proportional_fair_placement(evening, candidates)
+    print(f"  proportional (log)    mean={pf.mean_utility:.4f}  min={pf.min_utility:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of *Heterogeneous Wireless Charger Placement with
+Obstacles* (HIPO; Wang et al., ICPP 2018 / IEEE TMC 2019).
+
+Quick start::
+
+    import numpy as np
+    from repro import solve_hipo
+    from repro.experiments import random_scenario
+
+    scenario = random_scenario(np.random.default_rng(0))
+    solution = solve_hipo(scenario)
+    print(solution.utility, len(solution.strategies))
+
+Package layout
+--------------
+``repro.geometry``
+    Planar geometry substrate (polygons, sector rings, intersections, LOS).
+``repro.model``
+    The practical directional charging model with obstacles (Eq. 1–4).
+``repro.core``
+    The paper's algorithm: piecewise-constant power approximation
+    (Lemma 4.1), candidate/PDCS extraction (Algorithms 1, 2, 4), the
+    submodular greedy placement (Algorithm 3, ratio 1/2 − ε) and the
+    distributed extractor (§5).
+``repro.opt``
+    Generic optimization substrate (submodular greedy, matroids,
+    Hungarian / Hopcroft–Karp matching, LPT scheduling, TSP, metaheuristics).
+``repro.baselines``
+    The eight comparison algorithms of §6.
+``repro.extensions``
+    §8: redeployment, deployment budgets, fairness.
+``repro.experiments``
+    Scenario defaults (Tables 2–4), the §7 field testbed, and one
+    reproduction function per evaluation figure.
+"""
+
+from .core import HIPOSolution, build_candidate_set, solve_hipo, solve_hipo_hardened
+from .model import (
+    ChargerType,
+    CoefficientTable,
+    Device,
+    DeviceType,
+    PairCoefficients,
+    Scenario,
+    Strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChargerType",
+    "CoefficientTable",
+    "Device",
+    "DeviceType",
+    "HIPOSolution",
+    "PairCoefficients",
+    "Scenario",
+    "Strategy",
+    "__version__",
+    "build_candidate_set",
+    "solve_hipo",
+    "solve_hipo_hardened",
+]

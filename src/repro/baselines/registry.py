@@ -1,0 +1,51 @@
+"""Name → algorithm registry for the nine algorithms compared in §6.
+
+Every entry has signature ``(scenario, rng) -> list[Strategy]``.  ``"HIPO"``
+wraps :func:`repro.core.solve_hipo` (the rng is unused — HIPO is
+deterministic); the eight baselines follow the paper's naming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.placement import solve_hipo
+from ..model.entities import Strategy
+from ..model.network import Scenario
+from .grid_placement import grid_placement
+from .random_placement import rpad, rpar
+
+__all__ = ["ALGORITHMS", "BASELINES", "run_algorithm"]
+
+Algorithm = Callable[[Scenario, np.random.Generator], list[Strategy]]
+
+
+def _hipo(scenario: Scenario, rng: np.random.Generator) -> list[Strategy]:
+    return solve_hipo(scenario).strategies
+
+
+ALGORITHMS: dict[str, Algorithm] = {
+    "HIPO": _hipo,
+    "GPPDCS Triangle": lambda sc, rng: grid_placement(sc, rng, kind="triangle", orientation="pdcs"),
+    "GPPDCS Square": lambda sc, rng: grid_placement(sc, rng, kind="square", orientation="pdcs"),
+    "GPAD Triangle": lambda sc, rng: grid_placement(sc, rng, kind="triangle", orientation="discrete"),
+    "GPAD Square": lambda sc, rng: grid_placement(sc, rng, kind="square", orientation="discrete"),
+    "GPAR Triangle": lambda sc, rng: grid_placement(sc, rng, kind="triangle", orientation="random"),
+    "GPAR Square": lambda sc, rng: grid_placement(sc, rng, kind="square", orientation="random"),
+    "RPAD": rpad,
+    "RPAR": rpar,
+}
+
+#: The eight comparison algorithms (everything except HIPO), paper order.
+BASELINES: list[str] = [name for name in ALGORITHMS if name != "HIPO"]
+
+
+def run_algorithm(name: str, scenario: Scenario, rng: np.random.Generator) -> list[Strategy]:
+    """Run one named algorithm and return its placement."""
+    try:
+        algo = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}") from None
+    return algo(scenario, rng)

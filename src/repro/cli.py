@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Solve one random §6 instance with HIPO and print the placement
+    (optionally writing an SVG map).
+``compare``
+    Run all nine algorithms on one instance (Fig. 10 style).
+``figure``
+    Regenerate one paper figure's series (``fig11a`` … ``fig15``).
+``field``
+    Reproduce the §7 field experiment comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+FIGURES = (
+    "fig11a",
+    "fig11b",
+    "fig11c",
+    "fig11d",
+    "fig11e",
+    "fig11f",
+    "fig12",
+    "fig13",
+    "fig14",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HIPO: heterogeneous wireless charger placement with obstacles",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one random instance with HIPO")
+    solve.add_argument("--seed", type=int, default=42)
+    solve.add_argument("--devices", type=int, default=4, help="device multiple (of 4,3,2,1)")
+    solve.add_argument("--chargers", type=int, default=3, help="charger multiple (of 1,2,3)")
+    solve.add_argument("--eps", type=float, default=0.15)
+    solve.add_argument("--svg", type=str, default=None, help="write an SVG placement map here")
+    solve.add_argument("--map", action="store_true", help="print an ASCII map")
+    solve.add_argument("--save", type=str, default=None, help="save scenario + placement as JSON")
+    solve.add_argument("--load", type=str, default=None, help="solve a saved scenario JSON instead")
+
+    compare = sub.add_parser("compare", help="all nine algorithms on one instance")
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--devices", type=int, default=4)
+    compare.add_argument("--chargers", type=int, default=4)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure's series")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--repeats", type=int, default=2)
+    figure.add_argument("--csv", type=str, default=None, help="also write the series as CSV")
+
+    field = sub.add_parser("field", help="reproduce the §7 field experiment")
+    field.add_argument("--svg", type=str, default=None)
+
+    rep = sub.add_parser("report", help="generate a reproduction report directory")
+    rep.add_argument("--out", type=str, default="report")
+    rep.add_argument("--repeats", type=int, default=2)
+    rep.add_argument(
+        "--sections",
+        type=str,
+        default="fig10,fig11a,fig12,fig15,field",
+        help="comma-separated subset of fig10,fig11a,fig12,fig15,field",
+    )
+
+    validate = sub.add_parser("validate", help="diagnose a saved scenario JSON")
+    validate.add_argument("path", type=str)
+    validate.add_argument("--no-reachability", action="store_true", help="skip the reachability scan")
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from .core import solve_hipo
+    from .experiments import random_scenario, render_scene
+
+    if args.load:
+        from .io import load_scenario
+
+        scenario, _prior = load_scenario(args.load)
+    else:
+        scenario = random_scenario(
+            np.random.default_rng(args.seed),
+            charger_multiple=args.chargers,
+            device_multiple=args.devices,
+        )
+    sol = solve_hipo(scenario, eps=args.eps)
+    print(f"devices={scenario.num_devices} chargers={scenario.num_chargers} eps={args.eps}")
+    print(f"charging utility = {sol.utility:.4f} (approx objective {sol.approx_utility:.4f})")
+    for s in sol.strategies:
+        print(
+            f"  {s.ctype.name:<10} ({s.position[0]:6.2f}, {s.position[1]:6.2f}) "
+            f"{np.degrees(s.orientation):6.1f} deg"
+        )
+    if args.map:
+        print(render_scene(scenario, sol.strategies))
+    if args.svg:
+        from .experiments.svg_map import save_svg
+
+        save_svg(args.svg, scenario, sol.strategies)
+        print(f"wrote {args.svg}")
+    if args.save:
+        from .io import save_scenario
+
+        save_scenario(args.save, scenario, sol.strategies)
+        print(f"wrote {args.save}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    path = generate_report(
+        args.out,
+        include=[x for x in args.sections.split(",") if x],
+        repeats=args.repeats,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .io import load_scenario
+    from .model import validate_scenario
+
+    scenario, _strategies = load_scenario(args.path)
+    report = validate_scenario(scenario, check_reachability=not args.no_reachability)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args) -> int:
+    from .experiments import fig10_instance
+
+    result = fig10_instance(
+        seed=args.seed, charger_multiple=args.chargers, device_multiple=args.devices
+    )
+    print(result.format())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import figures
+
+    fn = {
+        "fig11a": figures.fig11a_num_chargers,
+        "fig11b": figures.fig11b_num_devices,
+        "fig11c": figures.fig11c_charging_angle,
+        "fig11d": figures.fig11d_receiving_angle,
+        "fig11e": figures.fig11e_power_threshold,
+        "fig11f": figures.fig11f_dmin,
+        "fig12": figures.fig12_distributed_time,
+        "fig13": figures.fig13_threshold_deltas,
+        "fig14": figures.fig14_dmin_dmax_surface,
+    }[args.name]
+    table = fn(repeats=args.repeats)
+    print(table.format())
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_field(args) -> int:
+    from .experiments import field_comparison, field_scenario
+
+    result = field_comparison()
+    print(result.format())
+    if args.svg:
+        from .experiments.svg_map import save_svg
+
+        save_svg(args.svg, field_scenario(), result.placements["HIPO"])
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "compare": _cmd_compare,
+        "figure": _cmd_figure,
+        "field": _cmd_field,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

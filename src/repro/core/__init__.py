@@ -1,0 +1,47 @@
+"""The paper's contribution: approximation, PDCS extraction, HIPO solver."""
+
+from .areas import INFEASIBLE, AreaCount, FeasibleAreaIndex
+from .approximation import ApproxPowerCalculator, PairApproximation, epsilon1_for
+from .candidates import BoundaryCurves, CandidateGenerator
+from .distributed import (
+    TaskMeasurement,
+    assign_tasks,
+    measure_task_costs,
+    parallel_positions_by_type,
+    simulate_distributed_times,
+)
+from .pdcs import PointStrategy, extract_pdcs_at_point, filter_dominated_sets, strategies_at_point
+from .placement import (
+    CandidateSet,
+    HIPOSolution,
+    build_candidate_set,
+    select_strategies,
+    solve_hipo,
+    solve_hipo_hardened,
+)
+
+__all__ = [
+    "ApproxPowerCalculator",
+    "AreaCount",
+    "FeasibleAreaIndex",
+    "INFEASIBLE",
+    "BoundaryCurves",
+    "CandidateGenerator",
+    "CandidateSet",
+    "HIPOSolution",
+    "PairApproximation",
+    "PointStrategy",
+    "TaskMeasurement",
+    "assign_tasks",
+    "build_candidate_set",
+    "epsilon1_for",
+    "extract_pdcs_at_point",
+    "filter_dominated_sets",
+    "measure_task_costs",
+    "parallel_positions_by_type",
+    "select_strategies",
+    "simulate_distributed_times",
+    "solve_hipo",
+    "solve_hipo_hardened",
+    "strategies_at_point",
+]

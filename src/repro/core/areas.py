@@ -1,0 +1,110 @@
+"""Feasible geometric areas (§4.1.2) as signature functions.
+
+The paper divides the plane, per charger type, into *feasible geometric
+areas*: maximal regions where the approximated power to every device is
+constant (including "zero because infeasible" — out of ring, out of cone, or
+shadowed).  Materializing the planar arrangement is exactly what §5 calls
+"hard to obtain ... for programming"; what the algorithms actually need is
+the *signature* of the area containing a point: for every device, either the
+approximation level index or "infeasible".
+
+:class:`FeasibleAreaIndex` computes these signatures, counts distinct
+signatures over a sampling grid (an empirical lower bound on the number of
+feasible geometric areas), and evaluates Lemma 4.4's
+``O(No² ε1⁻² Nh² c²)`` bound for comparison
+(``bench_lemma44_area_count``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.network import Scenario
+from ..model.types import ChargerType
+from .approximation import ApproxPowerCalculator, epsilon1_for
+
+__all__ = ["AreaCount", "FeasibleAreaIndex"]
+
+#: Signature entry for "this device is not chargeable from here".
+INFEASIBLE = -1
+
+
+@dataclass
+class AreaCount:
+    """Empirical vs theoretical feasible-area counts for one charger type."""
+
+    distinct_signatures: int
+    samples: int
+    lemma44_bound: float
+
+
+class FeasibleAreaIndex:
+    """Signature queries for the multi-feasible geometric areas."""
+
+    def __init__(self, scenario: Scenario, *, eps: float = 0.15):
+        self.scenario = scenario
+        self.eps = eps
+        self.eps1 = epsilon1_for(eps)
+        self.evaluator = scenario.evaluator()
+        self.approx = ApproxPowerCalculator(self.evaluator, scenario.charger_types, self.eps1)
+
+    def signature(self, ctype: ChargerType, point) -> tuple[int, ...]:
+        """Per-device level indices of the area containing *point*.
+
+        Entry *j* is the index into the (ctype, dtype_j) level array of the
+        bin containing the charger–device distance, or :data:`INFEASIBLE`
+        when a charger at *point* cannot charge device *j* at all (out of
+        ring, device cone misses the point, or line of sight blocked).
+        Orientation is not part of the signature — the feasible-area notion
+        is orientation-free (Algorithm 1 handles orientation separately).
+        """
+        ev = self.evaluator
+        mask, dists, _bearings = ev.coverable(ctype, point)
+        sig = np.full(ev.num_devices, INFEASIBLE, dtype=int)
+        if mask.any():
+            for j in np.nonzero(mask)[0]:
+                pa = self.approx.pair(ctype, ev.devices[j].dtype)
+                k = int(np.searchsorted(pa.levels, dists[j] - 1e-12, side="left"))
+                sig[j] = min(k, pa.num_levels - 1)
+        return tuple(int(v) for v in sig)
+
+    def constant_power_within_signature(self, ctype: ChargerType, p1, p2) -> bool:
+        """Whether two points share a signature — and therefore identical
+        approximated power vectors (the defining property of a feasible
+        geometric area)."""
+        return self.signature(ctype, p1) == self.signature(ctype, p2)
+
+    def approx_power_of_signature(self, ctype: ChargerType, sig: tuple[int, ...]) -> np.ndarray:
+        """The constant approximated power vector of a signature (ignoring
+        the charger-cone condition, as the signature does)."""
+        ev = self.evaluator
+        out = np.zeros(ev.num_devices)
+        for j, k in enumerate(sig):
+            if k == INFEASIBLE:
+                continue
+            pa = self.approx.pair(ctype, ev.devices[j].dtype)
+            out[j] = float(pa.powers[k])
+        return out
+
+    def count_areas(self, ctype: ChargerType, *, resolution: int = 64) -> AreaCount:
+        """Empirical distinct-signature count over a sampling lattice,
+        against the Lemma 4.4 bound ``No² ε1⁻² Nh² c²`` (constants dropped;
+        obstacle-free scenes use ``Nh c = 1`` so the bound stays finite)."""
+        xmin, ymin, xmax, ymax = self.scenario.bounds
+        xs = np.linspace(xmin, xmax, resolution)
+        ys = np.linspace(ymin, ymax, resolution)
+        seen: set[tuple[int, ...]] = set()
+        samples = 0
+        for x in xs:
+            for y in ys:
+                if not self.scenario.is_free((float(x), float(y))):
+                    continue
+                samples += 1
+                seen.add(self.signature(ctype, (float(x), float(y))))
+        no = self.scenario.num_devices
+        nh = len(self.scenario.obstacles)
+        c = max((h.num_edges for h in self.scenario.obstacles), default=0)
+        bound = (no**2) * (self.eps1**-2) * max(nh * c, 1) ** 2
+        return AreaCount(len(seen), samples, float(bound))

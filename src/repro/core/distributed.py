@@ -1,0 +1,143 @@
+"""Distributed PDCS extraction (§5, Algorithms 4 and 5).
+
+The candidate extraction decomposes into independent per-device tasks:
+task *i* generates the candidates of device *i*'s neighbour set (devices
+within ``2·dmax``), pairing *i* only with larger-indexed neighbours to avoid
+duplicate work.  Tasks are assigned to ``m`` parallel machines with the LPT
+rule [40] (4/3-approximate makespan); with ``m ≥ No`` each task gets its own
+machine (Algorithm 5's first branch).
+
+Two backends are provided:
+
+* :func:`simulate_distributed_times` — measures each task's serial cost once
+  and reports the LPT makespan for each machine count.  This is the
+  deterministic substitute for the paper's machine cluster (Fig. 12 plots
+  time *ratios*, which is exactly makespan / serial-total).
+* :func:`parallel_positions_by_type` — a real ``ProcessPoolExecutor``
+  execution of the tasks for wall-clock speedup on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import dedupe_points
+from ..model.network import Scenario
+from ..opt.scheduling import Schedule, lpt_schedule
+from .candidates import CandidateGenerator
+
+__all__ = [
+    "TaskMeasurement",
+    "measure_task_costs",
+    "simulate_distributed_times",
+    "assign_tasks",
+    "parallel_positions_by_type",
+]
+
+
+@dataclass
+class TaskMeasurement:
+    """Serial cost measurement of the per-device extraction tasks."""
+
+    durations: np.ndarray  # seconds per task (device), summed over charger types
+    positions_by_type: dict[str, np.ndarray]
+
+    @property
+    def serial_total(self) -> float:
+        """Non-distributed extraction time (Σ task durations)."""
+        return float(self.durations.sum())
+
+
+def measure_task_costs(scenario: Scenario, *, eps: float = 0.15) -> TaskMeasurement:
+    """Run every per-device task serially, timing each (Algorithm 4 unit).
+
+    The per-task duration covers all charger types, matching Algorithm 5
+    which hands "the task with device index i and all the charger types" to
+    one machine.
+    """
+    gen = CandidateGenerator(scenario, eps=eps)
+    n = scenario.num_devices
+    durations = np.zeros(n)
+    chunks: dict[str, list[np.ndarray]] = {ct.name: [] for ct in scenario.charger_types}
+    for i in range(n):
+        t0 = time.perf_counter()
+        for ct in scenario.charger_types:
+            if scenario.budgets.get(ct.name, 0) == 0:
+                continue
+            pts = gen.positions_for_task(ct, i)
+            if len(pts):
+                chunks[ct.name].append(pts)
+        durations[i] = time.perf_counter() - t0
+    positions = {
+        name: dedupe_points(np.vstack(parts)) if parts else np.zeros((0, 2))
+        for name, parts in chunks.items()
+    }
+    return TaskMeasurement(durations, positions)
+
+
+def assign_tasks(durations: np.ndarray, machines: int) -> Schedule:
+    """Algorithm 5: one task per machine when ``m >= No``, else LPT."""
+    n = len(durations)
+    if machines >= n:
+        return Schedule(tuple(range(n)), tuple(float(d) for d in durations))
+    return lpt_schedule(durations, machines)
+
+
+def simulate_distributed_times(
+    scenario: Scenario, machine_counts: list[int], *, eps: float = 0.15
+) -> dict[int | str, float]:
+    """Fig. 12 harness: serial total plus LPT makespan per machine count.
+
+    Keys: ``"serial"`` and each entry of *machine_counts*.
+    """
+    m = measure_task_costs(scenario, eps=eps)
+    out: dict[int | str, float] = {"serial": m.serial_total}
+    for k in machine_counts:
+        out[k] = assign_tasks(m.durations, k).makespan
+    return out
+
+
+def _run_task(args: tuple[Scenario, float, int]) -> dict[str, np.ndarray]:
+    scenario, eps, i = args
+    gen = CandidateGenerator(scenario, eps=eps)
+    out: dict[str, np.ndarray] = {}
+    for ct in scenario.charger_types:
+        if scenario.budgets.get(ct.name, 0) == 0:
+            continue
+        pts = gen.positions_for_task(ct, i)
+        if len(pts):
+            out[ct.name] = pts
+    return out
+
+
+def parallel_positions_by_type(
+    scenario: Scenario, *, eps: float = 0.15, workers: int | None = None
+) -> dict[str, np.ndarray]:
+    """Real multi-process extraction of all candidate positions.
+
+    The result equals the serial :meth:`CandidateGenerator.positions` per
+    type (up to deduplication order).  Worker count defaults to the CPU
+    count capped by the number of tasks.
+    """
+    n = scenario.num_devices
+    if n == 0:
+        return {ct.name: np.zeros((0, 2)) for ct in scenario.charger_types}
+    workers = workers or min(n, os.cpu_count() or 1)
+    chunks: dict[str, list[np.ndarray]] = {ct.name: [] for ct in scenario.charger_types}
+    if workers <= 1:
+        results = [_run_task((scenario, eps, i)) for i in range(n)]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_task, [(scenario, eps, i) for i in range(n)]))
+    for res in results:
+        for name, pts in res.items():
+            chunks[name].append(pts)
+    return {
+        name: dedupe_points(np.vstack(parts)) if parts else np.zeros((0, 2))
+        for name, parts in chunks.items()
+    }

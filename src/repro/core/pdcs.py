@@ -1,0 +1,119 @@
+"""Practical Dominating Coverage Set (PDCS) extraction — Algorithm 1.
+
+At a fixed charger position, the only orientation-dependent condition of
+Eq. (1) is the charger-cone test.  Algorithm 1 rotates the charger a full
+turn and records, each time a device is about to fall out across the
+clockwise boundary, the covered device set.  Maximal coverage always occurs
+at orientations where some device sits exactly on the clockwise boundary
+(``θ = bearing + αs/2``), so enumerating those orientations and keeping the
+non-dominated covered sets yields every PDCS at that point (Definition 4.2).
+
+The sweep is vectorized: the full ``m × m`` (orientation × device) coverage
+matrix is one broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import EPS, TWO_PI
+from ..model.entities import Strategy
+from ..model.power import PowerEvaluator
+from ..model.types import ChargerType
+
+__all__ = [
+    "PointStrategy",
+    "extract_pdcs_at_point",
+    "filter_dominated_sets",
+    "strategies_at_point",
+    "sweep_orientations",
+]
+
+#: Tolerance for the cone-membership decision during the sweep.  A device
+#: sitting exactly on the clockwise boundary must count as covered.
+ANG_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PointStrategy:
+    """One extracted PDCS at a point: an orientation and its covered set."""
+
+    orientation: float
+    covered: tuple[int, ...]  # device indices, ascending
+
+
+def filter_dominated_sets(items: Sequence[tuple[float, frozenset[int]]]) -> list[tuple[float, frozenset[int]]]:
+    """Keep only entries whose covered set is not a strict subset of another's.
+
+    Duplicates (equal sets) keep the first representative.  Quadratic in the
+    number of entries, which is at most the number of coverable devices.
+    """
+    uniq: dict[frozenset[int], float] = {}
+    for theta, s in items:
+        if s not in uniq:
+            uniq[s] = theta
+    sets = list(uniq.items())
+    keep: list[tuple[float, frozenset[int]]] = []
+    for i, (s, theta) in enumerate(sets):
+        dominated = False
+        for k, (other, _) in enumerate(sets):
+            if k != i and s < other:
+                dominated = True
+                break
+        if not dominated:
+            keep.append((theta, s))
+    return keep
+
+
+def sweep_orientations(ctype: ChargerType, mask: np.ndarray, bearings: np.ndarray) -> list[PointStrategy]:
+    """The rotational sweep given precomputed coverability.
+
+    *mask* marks devices satisfying every orientation-independent condition
+    of Eq. (1); *bearings* are charger→device bearings.  Returns the PDCSs.
+    """
+    idx = np.nonzero(mask)[0]
+    if idx.size == 0:
+        return []
+    half = ctype.half_angle
+    if ctype.charging_angle >= TWO_PI - EPS:
+        # Omnidirectional charger: a single strategy covers everything coverable.
+        return [PointStrategy(0.0, tuple(int(j) for j in idx))]
+    b = bearings[idx]
+    # Candidate orientations: each coverable device on the clockwise boundary.
+    thetas = np.mod(b + half, TWO_PI)
+    # coverage[t, d]: device d inside cone oriented at thetas[t]
+    diff = np.abs(np.mod(b[None, :] - thetas[:, None] + math.pi, TWO_PI) - math.pi)
+    coverage = diff <= half + ANG_TOL
+    items = [
+        (float(thetas[t]), frozenset(int(idx[d]) for d in np.nonzero(coverage[t])[0]))
+        for t in range(len(thetas))
+    ]
+    kept = filter_dominated_sets(items)
+    return [PointStrategy(theta, tuple(sorted(s))) for theta, s in kept]
+
+
+def extract_pdcs_at_point(
+    evaluator: PowerEvaluator,
+    ctype: ChargerType,
+    position: Sequence[float],
+) -> list[PointStrategy]:
+    """Algorithm 1: all PDCSs (and witness orientations) at *position*.
+
+    Returns an empty list when no device is coverable from here.
+    """
+    mask, _dists, bearings = evaluator.coverable(ctype, position)
+    return sweep_orientations(ctype, mask, bearings)
+
+
+def strategies_at_point(
+    evaluator: PowerEvaluator,
+    ctype: ChargerType,
+    position: Sequence[float],
+) -> list[Strategy]:
+    """Convenience: the PDCS orientations at *position* as :class:`Strategy`."""
+    pos = (float(position[0]), float(position[1]))
+    return [Strategy(pos, ps.orientation, ctype) for ps in extract_pdcs_at_point(evaluator, ctype, position)]

@@ -1,0 +1,96 @@
+"""Experiment harness: default scenarios, field testbed, sweeps, figures."""
+
+from .analysis import PlacementMetrics, compare_placements, jain_index, placement_metrics
+from .ascii_map import render_scene
+from .field import field_scenario
+from .generators import (
+    clustered_devices,
+    cluttered_scenario,
+    random_convex_obstacle,
+    random_star_obstacle,
+)
+from .sensitivity import RobustnessCurve, perturb_strategies, placement_robustness
+from .svg_map import render_svg, save_svg
+from .figures import (
+    FieldResult,
+    InstanceResult,
+    field_comparison,
+    fig10_instance,
+    fig11a_num_chargers,
+    fig11b_num_devices,
+    fig11c_charging_angle,
+    fig11d_receiving_angle,
+    fig11e_power_threshold,
+    fig11f_dmin,
+    fig12_distributed_time,
+    fig13_threshold_deltas,
+    fig14_dmin_dmax_surface,
+    fig15_utility_cdf,
+)
+from .report import generate_report
+from .reporting import SeriesTable, cdf_points, format_percent, headline_improvements
+from .scenarios import (
+    DEFAULT_BOUNDS,
+    DEFAULT_EPS,
+    DEFAULT_THRESHOLD,
+    default_budgets,
+    default_charger_types,
+    default_coefficients,
+    default_device_types,
+    default_obstacles,
+    random_devices,
+    random_scenario,
+    small_scenario,
+)
+from .sweeps import DEFAULT_ALGORITHMS, bench_repeats, run_sweep
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "DEFAULT_BOUNDS",
+    "DEFAULT_EPS",
+    "DEFAULT_THRESHOLD",
+    "FieldResult",
+    "InstanceResult",
+    "PlacementMetrics",
+    "RobustnessCurve",
+    "SeriesTable",
+    "bench_repeats",
+    "cdf_points",
+    "clustered_devices",
+    "cluttered_scenario",
+    "compare_placements",
+    "default_budgets",
+    "default_charger_types",
+    "default_coefficients",
+    "default_device_types",
+    "default_obstacles",
+    "field_comparison",
+    "field_scenario",
+    "fig10_instance",
+    "fig11a_num_chargers",
+    "fig11b_num_devices",
+    "fig11c_charging_angle",
+    "fig11d_receiving_angle",
+    "fig11e_power_threshold",
+    "fig11f_dmin",
+    "fig12_distributed_time",
+    "fig13_threshold_deltas",
+    "fig14_dmin_dmax_surface",
+    "fig15_utility_cdf",
+    "format_percent",
+    "generate_report",
+    "headline_improvements",
+    "jain_index",
+    "perturb_strategies",
+    "placement_metrics",
+    "placement_robustness",
+    "random_convex_obstacle",
+    "random_devices",
+    "random_scenario",
+    "random_star_obstacle",
+    "render_scene",
+    "render_svg",
+    "run_sweep",
+    "save_svg",
+    "small_scenario",
+]

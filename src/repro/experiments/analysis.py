@@ -1,0 +1,98 @@
+"""Placement quality analysis beyond the scalar objective.
+
+The paper's evaluation reads several secondary signals off its figures —
+how many devices stay dark (Fig. 10/25), how balanced the utility
+distribution is (Fig. 15, §6.2 "relatively balanced at a high rate"), how
+much power the fleet actually delivers (Fig. 26).  This module computes
+those signals for any placement so examples, benches and downstream users
+can report them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..model.entities import Strategy
+from ..model.network import Scenario
+from ..model.utility import utilities
+
+__all__ = ["PlacementMetrics", "jain_index", "placement_metrics", "compare_placements"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n Σx²)`` ∈ ``[1/n, 1]``.
+
+    1 means perfectly even allocation; ``1/n`` means one receiver takes all.
+    Zero vectors return 0 by convention.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return 0.0
+    denom = float((v**2).sum())
+    if denom <= 0.0:
+        return 0.0
+    return float(v.sum() ** 2 / (v.size * denom))
+
+
+@dataclass
+class PlacementMetrics:
+    """Summary statistics of one placement."""
+
+    utility: float  # Eq. (4) objective
+    min_utility: float
+    mean_power: float
+    total_power: float
+    uncharged: int  # devices receiving zero power
+    saturated: int  # devices at utility 1
+    jain: float  # fairness of the per-device utilities
+    redundancy: float  # mean #chargers covering each charged device
+    chargers_by_type: dict[str, int]
+
+    def format(self) -> str:
+        lines = [
+            f"utility            {self.utility:.4f}",
+            f"min device utility {self.min_utility:.4f}",
+            f"mean power         {self.mean_power:.4f}",
+            f"total power        {self.total_power:.4f}",
+            f"uncharged devices  {self.uncharged}",
+            f"saturated devices  {self.saturated}",
+            f"Jain fairness      {self.jain:.4f}",
+            f"coverage redundancy {self.redundancy:.2f}",
+        ]
+        for name, n in sorted(self.chargers_by_type.items()):
+            lines.append(f"chargers[{name}]    {n}")
+        return "\n".join(lines)
+
+
+def placement_metrics(scenario: Scenario, strategies: Sequence[Strategy]) -> PlacementMetrics:
+    """Compute :class:`PlacementMetrics` for a placement."""
+    ev = scenario.evaluator()
+    P = ev.power_matrix(list(strategies)) if strategies else np.zeros((0, ev.num_devices))
+    total = P.sum(axis=0) if len(P) else np.zeros(ev.num_devices)
+    u = utilities(total, ev.thresholds)
+    covered = total > 0
+    coverage_counts = (P > 0).sum(axis=0) if len(P) else np.zeros(ev.num_devices)
+    by_type: dict[str, int] = {}
+    for s in strategies:
+        by_type[s.ctype.name] = by_type.get(s.ctype.name, 0) + 1
+    return PlacementMetrics(
+        utility=float(u.mean()) if u.size else 0.0,
+        min_utility=float(u.min()) if u.size else 0.0,
+        mean_power=float(total.mean()) if total.size else 0.0,
+        total_power=float(total.sum()),
+        uncharged=int((~covered).sum()),
+        saturated=int((u >= 1.0 - 1e-12).sum()),
+        jain=jain_index(u),
+        redundancy=float(coverage_counts[covered].mean()) if covered.any() else 0.0,
+        chargers_by_type=by_type,
+    )
+
+
+def compare_placements(
+    scenario: Scenario, placements: Mapping[str, Sequence[Strategy]]
+) -> dict[str, PlacementMetrics]:
+    """Metrics for several placements of the same scenario, keyed by name."""
+    return {name: placement_metrics(scenario, strategies) for name, strategies in placements.items()}

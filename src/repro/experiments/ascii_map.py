@@ -1,0 +1,71 @@
+"""ASCII rendering of scenarios and placements.
+
+The paper's Fig. 10/24 are scatter plots of devices, chargers and obstacles;
+with no plotting stack available offline, we render the same information as
+a character grid: ``#`` obstacle interior, ``o`` device, an arrow
+(``> ^ < v``) for each placed charger pointing along its orientation, and
+``*`` where a charger and a device share a cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..model.entities import Strategy
+from ..model.network import Scenario
+
+__all__ = ["render_scene"]
+
+_ARROWS = ">/^\\<\\v/"  # 8 sectors of the compass, 45 degrees each
+
+
+def _arrow_for(theta: float) -> str:
+    sector = int(((theta + math.pi / 8.0) % (2.0 * math.pi)) / (math.pi / 4.0)) % 8
+    return _ARROWS[sector]
+
+
+def render_scene(
+    scenario: Scenario,
+    strategies: Sequence[Strategy] = (),
+    *,
+    width: int = 60,
+    height: int = 30,
+) -> str:
+    """Render the scenario as a ``height``-line ASCII map."""
+    xmin, ymin, xmax, ymax = scenario.bounds
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def cell(p) -> tuple[int, int]:
+        cx = int((p[0] - xmin) / (xmax - xmin) * (width - 1))
+        cy = int((p[1] - ymin) / (ymax - ymin) * (height - 1))
+        return min(max(cx, 0), width - 1), min(max(cy, 0), height - 1)
+
+    # Obstacles: sample the grid cells whose centers are inside.
+    for r in range(height):
+        y = ymin + (r + 0.5) / height * (ymax - ymin)
+        row_pts = np.column_stack(
+            [xmin + (np.arange(width) + 0.5) / width * (xmax - xmin), np.full(width, y)]
+        )
+        for h in scenario.obstacles:
+            inside = h.contains_many(row_pts)
+            for c in np.nonzero(inside)[0]:
+                grid[r][c] = "#"
+
+    for d in scenario.devices:
+        cx, cy = cell(d.position)
+        grid[cy][cx] = "o"
+
+    for s in strategies:
+        cx, cy = cell(s.position)
+        grid[cy][cx] = "*" if grid[cy][cx] == "o" else _arrow_for(s.orientation)
+
+    # y grows upward: print top row (max y) first.
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    for r in range(height - 1, -1, -1):
+        lines.append("|" + "".join(grid[r]) + "|")
+    lines.append(border)
+    return "\n".join(lines)

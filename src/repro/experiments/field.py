@@ -1,0 +1,111 @@
+"""The §7 field experiment, reproduced in simulation.
+
+**Substitution note** (see DESIGN.md §5): the paper's testbed uses six
+physical chargers — three TB-Powersource transmitters (one at 1 W, two at
+2 W) and three Powercast TX91501 transmitters (3 W) — and ten P2110-equipped
+sensor nodes of two types in a 120 cm × 120 cm arena with three obstacles.
+We reproduce the *layout* exactly as printed (the ten sensor strategies
+below are the paper's) and evaluate placements under the calibrated model of
+Eq. (1) — which is also how the paper models its own hardware — instead of
+over-the-air measurements.  Coefficients are chosen so that received powers
+fall in the 0–40 mW range of Fig. 26.
+
+§7 compares HIPO against GPPDCS Triangle and GPAD Triangle; Fig. 25 reports
+per-device charging utility and Fig. 26 the CDF of received power.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry import Polygon, rectangle
+from ..model import ChargerType, CoefficientTable, Device, DeviceType, PairCoefficients, Scenario
+
+__all__ = [
+    "FIELD_BOUNDS",
+    "FIELD_SENSOR_STRATEGIES",
+    "field_charger_types",
+    "field_device_types",
+    "field_coefficients",
+    "field_obstacles",
+    "field_scenario",
+]
+
+#: The 120 cm × 120 cm arena (units: centimetres).
+FIELD_BOUNDS: tuple[float, float, float, float] = (0.0, 0.0, 120.0, 120.0)
+
+#: The ten sensor strategies of §7: ((x, y), orientation in degrees).
+FIELD_SENSOR_STRATEGIES: tuple[tuple[tuple[float, float], float], ...] = (
+    ((20.0, 15.0), 200.0),
+    ((47.0, 20.0), 350.0),
+    ((113.0, 65.0), 20.0),
+    ((20.0, 85.0), 140.0),
+    ((13.0, 95.0), 40.0),
+    ((7.0, 115.0), 190.0),
+    ((27.0, 110.0), 310.0),
+    ((47.0, 100.0), 150.0),
+    ((50.0, 118.0), 160.0),
+    ((60.0, 93.0), 270.0),
+)
+
+
+def field_charger_types() -> list[ChargerType]:
+    """Three charger classes: TB 1 W, TB 2 W, TX91501 3 W.
+
+    The TX91501 transmits only beyond 17 cm (the paper's field measurement);
+    the TB transmitters get a smaller keep-out.  Apertures reflect the
+    beam widths of the respective antennas.
+    """
+    return [
+        ChargerType("tb-1w", math.pi / 3.0, 10.0, 70.0),
+        ChargerType("tb-2w", math.pi / 3.0, 12.0, 90.0),
+        ChargerType("tx91501-3w", math.pi / 4.0, 17.0, 110.0),
+    ]
+
+
+def field_device_types() -> list[DeviceType]:
+    """Two P2110 receiver node types with different patch antennas."""
+    return [
+        DeviceType("sensor-a", 2.0 * math.pi / 3.0),
+        DeviceType("sensor-b", math.pi),
+    ]
+
+
+def field_coefficients() -> CoefficientTable:
+    """Power-law fits (mW, cm) scaled with transmitter wattage."""
+    entries: dict[tuple[str, str], PairCoefficients] = {}
+    watts = {"tb-1w": 1.0, "tb-2w": 2.0, "tx91501-3w": 3.0}
+    gain = {"sensor-a": 1.0, "sensor-b": 1.3}
+    for cname, w in watts.items():
+        for dname, g in gain.items():
+            a = 20_000.0 * w * g
+            entries[(cname, dname)] = PairCoefficients(a, 15.0)
+    return CoefficientTable(entries)
+
+
+def field_obstacles() -> list[Polygon]:
+    """The three obstacles inside the arena."""
+    return [
+        rectangle(60.0, 40.0, 78.0, 52.0),
+        rectangle(30.0, 60.0, 42.0, 72.0),
+        Polygon([(80.0, 85.0), (95.0, 90.0), (85.0, 100.0)]),
+    ]
+
+
+def field_scenario(*, threshold_mw: float = 20.0) -> Scenario:
+    """The full §7 instance: 10 sensors (5 of each type), budgets (1, 2, 3)."""
+    dtypes = field_device_types()
+    devices = []
+    for k, (pos, deg) in enumerate(FIELD_SENSOR_STRATEGIES):
+        dt = dtypes[0] if k < 5 else dtypes[1]
+        devices.append(Device(pos, math.radians(deg), dt, threshold_mw))
+    return Scenario(
+        bounds=FIELD_BOUNDS,
+        devices=tuple(devices),
+        obstacles=tuple(field_obstacles()),
+        charger_types=tuple(field_charger_types()),
+        budgets={"tb-1w": 1, "tb-2w": 2, "tx91501-3w": 3},
+        table=field_coefficients(),
+    )

@@ -1,0 +1,424 @@
+"""Per-figure reproduction functions for every evaluation figure (§6–§7).
+
+Each ``figXX_*`` function regenerates the series behind the corresponding
+paper figure and returns a :class:`~repro.experiments.reporting.SeriesTable`
+(or a small result object for non-sweep figures).  Paper-default parameter
+ranges are module constants; the benches may pass reduced ranges/repeats —
+the qualitative shape (who wins, monotone trends) is insensitive to that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.registry import ALGORITHMS
+from ..core.distributed import measure_task_costs, assign_tasks
+from ..model import ChargerType, Scenario, Strategy
+from ..model.utility import utilities
+from .reporting import SeriesTable, cdf_points
+from .scenarios import (
+    DEFAULT_THRESHOLD,
+    default_budgets,
+    random_scenario,
+)
+from .sweeps import DEFAULT_ALGORITHMS, run_sweep
+
+__all__ = [
+    "FIG11_MULTIPLES",
+    "FIG11_ANGLE_FACTORS",
+    "FIG11_THRESHOLDS",
+    "FIG11F_DMIN_FACTORS",
+    "FIG12_MACHINES",
+    "FIG13_DELTAS",
+    "InstanceResult",
+    "fig10_instance",
+    "fig11a_num_chargers",
+    "fig11b_num_devices",
+    "fig11c_charging_angle",
+    "fig11d_receiving_angle",
+    "fig11e_power_threshold",
+    "fig11f_dmin",
+    "fig12_distributed_time",
+    "fig13_threshold_deltas",
+    "fig14_dmin_dmax_surface",
+    "fig15_utility_cdf",
+    "field_comparison",
+]
+
+FIG11_MULTIPLES: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+FIG11_ANGLE_FACTORS: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+FIG11_THRESHOLDS: tuple[float, ...] = (0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09)
+FIG11F_DMIN_FACTORS: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4)
+FIG12_MACHINES: tuple[int, ...] = (5, 10, 15, 20, 25)
+FIG13_DELTAS: tuple[float, ...] = (-0.01, -0.005, 0.0, 0.005, 0.01)
+
+
+# ---------------------------------------------------------------- Fig. 10 --
+
+
+@dataclass
+class InstanceResult:
+    """One-instance comparison (Fig. 10): placements and utilities."""
+
+    scenario: Scenario
+    placements: dict[str, list[Strategy]]
+    utilities: dict[str, float]
+
+    def format(self) -> str:
+        lines = ["algorithm            charging utility"]
+        for name, u in sorted(self.utilities.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<20} {u:.4f}")
+        return "\n".join(lines)
+
+
+def fig10_instance(
+    *,
+    seed: int = 7,
+    charger_multiple: int = 4,
+    device_multiple: int = 4,
+    algorithms=DEFAULT_ALGORITHMS,
+) -> InstanceResult:
+    """Fig. 10: all algorithms on one random topology with 4× chargers."""
+    rng = np.random.default_rng(seed)
+    scenario = random_scenario(rng, charger_multiple=charger_multiple, device_multiple=device_multiple)
+    placements: dict[str, list[Strategy]] = {}
+    utils: dict[str, float] = {}
+    for ai, name in enumerate(algorithms):
+        algo_rng = np.random.default_rng(np.random.SeedSequence((seed, ai)))
+        placements[name] = ALGORITHMS[name](scenario, algo_rng)
+        utils[name] = scenario.utility_of(placements[name])
+    return InstanceResult(scenario, placements, utils)
+
+
+
+# Module-level sweep factories (picklable for run_sweep(workers > 1)).
+
+
+def _charger_multiple_factory(m, rng):
+    return random_scenario(rng, charger_multiple=int(m))
+
+
+def _device_multiple_factory(m, rng):
+    return random_scenario(rng, device_multiple=int(m))
+
+
+def _charging_angle_factory(f, rng):
+    return random_scenario(rng).scale_charger_types(angle=float(f))
+
+
+def _receiving_angle_factory(f, rng):
+    return random_scenario(rng).scale_device_angles(float(f))
+
+
+def _threshold_factory(t, rng):
+    return random_scenario(rng, threshold=float(t))
+
+
+def _dmin_factory(f, rng):
+    sc = random_scenario(rng)
+    if float(f) == 0.0:
+        # dmin = 0 exactly: rebuild types with a zero keep-out.
+        new_types = tuple(
+            ChargerType(ct.name, ct.charging_angle, 0.0, ct.dmax) for ct in sc.charger_types
+        )
+        return sc.with_charger_types(new_types, sc.budgets)
+    return sc.scale_charger_types(dmin=float(f))
+
+
+# ---------------------------------------------------------------- Fig. 11 --
+
+
+def fig11a_num_chargers(
+    *,
+    multiples=FIG11_MULTIPLES,
+    repeats: int = 3,
+    seed: int = 11,
+    algorithms=DEFAULT_ALGORITHMS,
+    workers: int | None = None,
+) -> SeriesTable:
+    """Fig. 11(a): utility vs number of chargers (multiples of the initial
+    (1, 2, 3) setting)."""
+    return run_sweep(
+        list(multiples),
+        _charger_multiple_factory,
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label="Ns (times)",
+        workers=workers,
+    )
+
+
+def fig11b_num_devices(
+    *,
+    multiples=FIG11_MULTIPLES,
+    repeats: int = 3,
+    seed: int = 12,
+    algorithms=DEFAULT_ALGORITHMS,
+    workers: int | None = None,
+) -> SeriesTable:
+    """Fig. 11(b): utility vs number of devices (multiples of (4, 3, 2, 1))."""
+    return run_sweep(
+        list(multiples),
+        _device_multiple_factory,
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label="No (times)",
+        workers=workers,
+    )
+
+
+def fig11c_charging_angle(
+    *,
+    factors=FIG11_ANGLE_FACTORS,
+    repeats: int = 3,
+    seed: int = 13,
+    algorithms=DEFAULT_ALGORITHMS,
+    workers: int | None = None,
+) -> SeriesTable:
+    """Fig. 11(c): utility vs charging angle scale factor."""
+    return run_sweep(
+        list(factors),
+        _charging_angle_factory,
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label="charging angle (times)",
+        workers=workers,
+    )
+
+
+def fig11d_receiving_angle(
+    *,
+    factors=FIG11_ANGLE_FACTORS,
+    repeats: int = 3,
+    seed: int = 14,
+    algorithms=DEFAULT_ALGORITHMS,
+    workers: int | None = None,
+) -> SeriesTable:
+    """Fig. 11(d): utility vs receiving angle scale factor."""
+    return run_sweep(
+        list(factors),
+        _receiving_angle_factory,
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label="receiving angle (times)",
+        workers=workers,
+    )
+
+
+def fig11e_power_threshold(
+    *,
+    thresholds=FIG11_THRESHOLDS,
+    repeats: int = 3,
+    seed: int = 15,
+    algorithms=DEFAULT_ALGORITHMS,
+    workers: int | None = None,
+) -> SeriesTable:
+    """Fig. 11(e): utility vs power threshold Pth."""
+    return run_sweep(
+        list(thresholds),
+        _threshold_factory,
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label="power threshold",
+        workers=workers,
+    )
+
+
+def fig11f_dmin(
+    *,
+    factors=FIG11F_DMIN_FACTORS,
+    repeats: int = 3,
+    seed: int = 16,
+    algorithms=DEFAULT_ALGORITHMS,
+    workers: int | None = None,
+) -> SeriesTable:
+    """Fig. 11(f): utility vs nearest-distance scale factor (0 recovers the
+    classical sector model)."""
+    return run_sweep(
+        list(factors),
+        _dmin_factory,
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label="dmin (times)",
+        workers=workers,
+    )
+
+
+# ---------------------------------------------------------------- Fig. 12 --
+
+
+def fig12_distributed_time(
+    *,
+    multiples=(1, 2, 3, 4, 5, 6, 7, 8),
+    machines=FIG12_MACHINES,
+    repeats: int = 2,
+    seed: int = 17,
+) -> SeriesTable:
+    """Fig. 12: PDCS-extraction time vs number of devices, non-distributed
+    and LPT-distributed over m machines.
+
+    Values are normalized by the non-distributed time at 1× devices (as in
+    the paper, to remove platform dependence).  Machine time is the
+    simulated LPT makespan of the measured per-task serial costs
+    (the paper's cluster substitute — see DESIGN.md §5).
+    """
+    table = SeriesTable("No (times)", list(multiples))
+    serial = np.zeros(len(table.x))
+    dist = {m: np.zeros(len(table.x)) for m in machines}
+    for xi, mult in enumerate(table.x):
+        for r in range(repeats):
+            rng = np.random.default_rng(np.random.SeedSequence((seed, xi, r)))
+            sc = random_scenario(rng, device_multiple=int(mult))
+            meas = measure_task_costs(sc)
+            serial[xi] += meas.serial_total
+            for m in machines:
+                dist[m][xi] += assign_tasks(meas.durations, m).makespan
+    serial /= repeats
+    base = serial[0] if serial[0] > 0 else 1.0
+    table.add("Non-Dis", (serial / base).tolist())
+    for m in machines:
+        table.add(f"Dis-{m}", (dist[m] / repeats / base).tolist())
+    return table
+
+
+# ---------------------------------------------------------------- Fig. 13 --
+
+
+def fig13_threshold_deltas(
+    *, deltas=FIG13_DELTAS, multiples=(1, 2, 3, 4, 5, 6, 7, 8), repeats: int = 3, seed: int = 18
+) -> SeriesTable:
+    """Fig. 13: HIPO utility vs No for per-type power-threshold offsets.
+
+    Device type 2 keeps Pth = 0.05; adjacent types differ by *delta*
+    (legend −0.01 ⇒ thresholds 0.06, 0.05, 0.04, 0.03 for types 1–4).
+    Device counts are equalized at (2, 2, 2, 2) × multiple (§6.1.9).
+    """
+    table = SeriesTable("No (times)", list(multiples))
+    for delta in deltas:
+        thresholds = {
+            f"device-{i}": DEFAULT_THRESHOLD + float(delta) * (i - 2) for i in range(1, 5)
+        }
+        vals = []
+        for xi, mult in enumerate(table.x):
+            acc = 0.0
+            for r in range(repeats):
+                rng = np.random.default_rng(np.random.SeedSequence((seed, xi, r)))
+                sc = random_scenario(
+                    rng, device_counts=tuple(2 * int(mult) for _ in range(4))
+                ).with_thresholds(thresholds)
+                strategies = ALGORITHMS["HIPO"](sc, rng)
+                acc += sc.utility_of(strategies)
+            vals.append(acc / repeats)
+        sign = "+" if delta > 0 else ""
+        table.add(f"{sign}{delta:g}", vals)
+    return table
+
+
+# ---------------------------------------------------------------- Fig. 14 --
+
+
+def fig14_dmin_dmax_surface(
+    *,
+    dmax_factors=(0.6, 1.0, 1.5, 2.0),
+    ratios=(0.0, 0.3, 0.6, 0.9),
+    repeats: int = 2,
+    seed: int = 19,
+    device_multiple: int = 4,
+) -> SeriesTable:
+    """Fig. 14: HIPO utility surface over (dmax scale, dmin/dmax ratio).
+
+    Chargers at 2× the initial setting (§6.2).  Rows are dmax factors;
+    one series per dmin/dmax ratio.
+    """
+    table = SeriesTable("dmax (times)", list(dmax_factors))
+    for ratio in ratios:
+        vals = []
+        for xi, f in enumerate(table.x):
+            acc = 0.0
+            for r in range(repeats):
+                rng = np.random.default_rng(np.random.SeedSequence((seed, xi, r)))
+                sc = random_scenario(rng, charger_multiple=2, device_multiple=device_multiple)
+                new_types = tuple(
+                    ChargerType(
+                        ct.name,
+                        ct.charging_angle,
+                        float(ratio) * float(f) * ct.dmax,
+                        float(f) * ct.dmax,
+                    )
+                    for ct in sc.charger_types
+                )
+                sc = sc.with_charger_types(new_types, sc.budgets)
+                strategies = ALGORITHMS["HIPO"](sc, rng)
+                acc += sc.utility_of(strategies)
+            vals.append(acc / repeats)
+        table.add(f"dmin/dmax={ratio:g}", vals)
+    return table
+
+
+# ---------------------------------------------------------------- Fig. 15 --
+
+
+def fig15_utility_cdf(
+    *, seed: int = 20, device_multiple: int = 4, algorithms=DEFAULT_ALGORITHMS
+) -> dict[str, np.ndarray]:
+    """Fig. 15: per-device utilities of one 40-device topology, per
+    algorithm (sorted ascending — the CDF x-samples)."""
+    rng = np.random.default_rng(seed)
+    scenario = random_scenario(rng, device_multiple=device_multiple)
+    ev = scenario.evaluator()
+    out: dict[str, np.ndarray] = {}
+    for ai, name in enumerate(algorithms):
+        algo_rng = np.random.default_rng(np.random.SeedSequence((seed, ai)))
+        strategies = ALGORITHMS[name](scenario, algo_rng)
+        powers = ev.total_power(strategies)
+        out[name] = np.sort(utilities(powers, ev.thresholds))
+    return out
+
+
+# ------------------------------------------------------------------- §7 ----
+
+
+@dataclass
+class FieldResult:
+    """§7 comparison: per-device utility (Fig. 25) and power CDFs (Fig. 26)."""
+
+    utilities: dict[str, np.ndarray]
+    powers: dict[str, np.ndarray]
+    placements: dict[str, list[Strategy]]
+
+    def format(self) -> str:
+        names = list(self.utilities)
+        lines = ["device  " + "".join(f"{n:<20}" for n in names)]
+        n_dev = len(next(iter(self.utilities.values())))
+        for j in range(n_dev):
+            row = f"#{j + 1:<6} " + "".join(f"{self.utilities[n][j]:<20.4f}" for n in names)
+            lines.append(row.rstrip())
+        return "\n".join(lines)
+
+
+def field_comparison(*, seed: int = 21, algorithms=("HIPO", "GPPDCS Triangle", "GPAD Triangle")) -> FieldResult:
+    """Reproduce the §7 testbed comparison under the simulated substrate."""
+    from .field import field_scenario
+
+    scenario = field_scenario()
+    ev = scenario.evaluator()
+    utils: dict[str, np.ndarray] = {}
+    powers: dict[str, np.ndarray] = {}
+    placements: dict[str, list[Strategy]] = {}
+    for ai, name in enumerate(algorithms):
+        algo_rng = np.random.default_rng(np.random.SeedSequence((seed, ai)))
+        strategies = ALGORITHMS[name](scenario, algo_rng)
+        p = ev.total_power(strategies)
+        placements[name] = strategies
+        powers[name] = p
+        utils[name] = utilities(p, ev.thresholds)
+    return FieldResult(utils, powers, placements)

@@ -1,0 +1,105 @@
+"""One-shot reproduction report generator.
+
+``generate_report`` runs a configurable subset of the paper's experiments
+and writes a self-contained results directory: a markdown summary, one CSV
+per sweep, and SVG placement maps.  This is what the CLI's ``report``
+command calls; CI pipelines can diff successive runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .analysis import placement_metrics
+from .figures import (
+    field_comparison,
+    fig10_instance,
+    fig11a_num_chargers,
+    fig12_distributed_time,
+    fig15_utility_cdf,
+)
+from .svg_map import save_svg
+from .sweeps import DEFAULT_ALGORITHMS
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    outdir: str,
+    *,
+    include: Iterable[str] = ("fig10", "fig11a", "fig12", "fig15", "field"),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    multiples: Sequence[int] = (1, 2, 4),
+    repeats: int = 2,
+    device_multiple: int = 4,
+    seed: int = 7,
+    workers: int | None = None,
+) -> Path:
+    """Run the selected experiments and write a report under *outdir*.
+
+    Returns the path of the generated ``report.md``.
+    """
+    include = set(include)
+    unknown = include - {"fig10", "fig11a", "fig12", "fig15", "field"}
+    if unknown:
+        raise ValueError(f"unknown report sections: {sorted(unknown)}")
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    md: list[str] = ["# HIPO reproduction report", ""]
+
+    if "fig10" in include:
+        inst = fig10_instance(
+            seed=seed, charger_multiple=4, device_multiple=device_multiple, algorithms=algorithms
+        )
+        md += ["## Fig. 10 — one-instance comparison", "", "```", inst.format(), "```", ""]
+        best = max(inst.utilities, key=inst.utilities.get)
+        metrics = placement_metrics(inst.scenario, inst.placements[best])
+        md += [f"best algorithm: **{best}**", "", "```", metrics.format(), "```", ""]
+        save_svg(str(out / "fig10_best_placement.svg"), inst.scenario, inst.placements[best])
+        md += ["placement map: `fig10_best_placement.svg`", ""]
+
+    if "fig11a" in include:
+        table = fig11a_num_chargers(
+            multiples=tuple(multiples), repeats=repeats, algorithms=algorithms, workers=workers
+        )
+        table.to_csv(str(out / "fig11a.csv"))
+        md += ["## Fig. 11(a) — utility vs number of chargers", "", "```", table.format(), "```", ""]
+        if "HIPO" in table.series:
+            md += ["mean improvement of HIPO over:"]
+            for name, v in table.improvement_over("HIPO").items():
+                md.append(f"- {name}: {v:.2f}%")
+            md.append("")
+
+    if "fig12" in include:
+        table = fig12_distributed_time(multiples=tuple(multiples), repeats=max(1, repeats - 1))
+        table.to_csv(str(out / "fig12.csv"))
+        md += ["## Fig. 12 — distributed extraction time", "", "```", table.format(), "```", ""]
+
+    if "fig15" in include:
+        cdf = fig15_utility_cdf(seed=seed, device_multiple=device_multiple, algorithms=algorithms)
+        md += ["## Fig. 15 — per-device utility distribution", ""]
+        md += ["| algorithm | uncharged | median utility | saturated |", "|---|---|---|---|"]
+        for name, u in cdf.items():
+            md.append(
+                f"| {name} | {int((u <= 0).sum())} | {float(np.median(u)):.3f} | "
+                f"{int((u >= 1.0 - 1e-9).sum())} |"
+            )
+        md.append("")
+
+    if "field" in include:
+        res = field_comparison(seed=seed)
+        md += ["## §7 field experiment", "", "```", res.format(), "```", ""]
+        for name, u in res.utilities.items():
+            md.append(f"- {name}: {int((u <= 0).sum())} of {len(u)} devices uncharged")
+        md.append("")
+        from .field import field_scenario
+
+        save_svg(str(out / "field_hipo_placement.svg"), field_scenario(), res.placements["HIPO"])
+        md += ["placement map: `field_hipo_placement.svg`", ""]
+
+    path = out / "report.md"
+    path.write_text("\n".join(md))
+    return path

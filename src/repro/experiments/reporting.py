@@ -1,0 +1,116 @@
+"""Formatting helpers for the reproduction harness.
+
+The paper's figures are line plots / CDFs / bar charts; the benchmark
+harness regenerates the underlying *series* and prints them as aligned text
+tables (optionally CSV) so the shape comparison with the paper is direct.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SeriesTable", "cdf_points", "format_percent", "headline_improvements"]
+
+
+@dataclass
+class SeriesTable:
+    """An x-axis plus one named series per algorithm/configuration."""
+
+    x_label: str
+    x: list
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, name: str, values: Sequence[float]) -> None:
+        """Attach one named series (must match the x-axis length)."""
+        vals = [float(v) for v in values]
+        if len(vals) != len(self.x):
+            raise ValueError(f"series {name!r} length {len(vals)} != x length {len(self.x)}")
+        self.series[name] = vals
+
+    def format(self, *, width: int = 18, precision: int = 4) -> str:
+        """Aligned text table (x down the rows, series across the columns)."""
+        names = list(self.series)
+        width = max(width, len(self.x_label) + 2, *(len(n) + 2 for n in names)) if names else width
+        out = io.StringIO()
+        header = [self.x_label.ljust(width)] + [n.ljust(width) for n in names]
+        out.write("".join(header).rstrip() + "\n")
+        for i, xv in enumerate(self.x):
+            row = [f"{xv}".ljust(width)]
+            for n in names:
+                row.append(f"{self.series[n][i]:.{precision}f}".ljust(width))
+            out.write("".join(row).rstrip() + "\n")
+        return out.getvalue()
+
+    def to_csv(self, path: str) -> None:
+        """Write the table as CSV (x first, one column per series)."""
+        with open(path, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow([self.x_label, *self.series.keys()])
+            for i, xv in enumerate(self.x):
+                w.writerow([xv, *(self.series[n][i] for n in self.series)])
+
+    def improvement_over(self, reference: str) -> dict[str, float]:
+        """Mean percentage improvement of *reference* over each other series
+        (the paper's "HIPO outperforms X by Y%" aggregation).
+
+        Points where the other series is 0 are skipped to avoid division by
+        zero (the paper's RPAR percentages are similarly dominated by its
+        near-zero utilities).
+        """
+        ref = np.asarray(self.series[reference], dtype=float)
+        out: dict[str, float] = {}
+        for name, vals in self.series.items():
+            if name == reference:
+                continue
+            other = np.asarray(vals, dtype=float)
+            mask = other > 1e-9
+            if not mask.any():
+                out[name] = float("inf")
+                continue
+            out[name] = float(((ref[mask] - other[mask]) / other[mask]).mean() * 100.0)
+        return out
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF sample points ``(sorted values, cumulative fraction)``."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        return v, v
+    frac = np.arange(1, v.size + 1) / v.size
+    return v, frac
+
+
+def format_percent(x: float) -> str:
+    """Render a ratio improvement as a percent string."""
+    if not np.isfinite(x):
+        return "inf%"
+    return f"{x:.2f}%"
+
+
+def headline_improvements(tables: Sequence["SeriesTable"], *, reference: str = "HIPO") -> dict[str, float]:
+    """The paper's §6 headline aggregation: mean percentage improvement of
+    *reference* over each other algorithm, averaged across several sweep
+    tables (the paper averages the six Fig. 11 families to report "HIPO
+    outperforms ... by at least 33.49%").
+
+    Only algorithms present in every table are aggregated; infinite
+    per-table entries (an all-zero competitor) are skipped.
+    """
+    if not tables:
+        return {}
+    common = set(tables[0].series)
+    for t in tables[1:]:
+        common &= set(t.series)
+    if reference not in common:
+        raise KeyError(f"reference {reference!r} missing from some table")
+    out: dict[str, float] = {}
+    for name in sorted(common - {reference}):
+        vals = [t.improvement_over(reference)[name] for t in tables]
+        finite = [v for v in vals if np.isfinite(v)]
+        out[name] = float(np.mean(finite)) if finite else float("inf")
+    return out

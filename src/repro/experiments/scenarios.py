@@ -1,0 +1,171 @@
+"""Default simulation setup of §6 (Tables 2–4) and random topologies.
+
+The simulation area is a 40 m × 40 m square with two obstacles
+(Fig. 10(a) — the paper does not give the obstacle coordinates, so we use a
+rectangle and a triangle of comparable footprint near the middle of the
+area).  Charger/device types and the per-pair power coefficients follow
+Tables 2–4 exactly.  Initial cardinalities are (1, 2, 3) chargers for types
+1–3 and (4, 3, 2, 1) devices for types 1–4; the default simulation uses 3×
+the charger counts and 4× the device counts, ``Pth = 0.05`` and ``ε = 0.15``
+(§6).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry import TWO_PI, Polygon, rectangle
+from ..model import ChargerType, CoefficientTable, Device, DeviceType, PairCoefficients, Scenario
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "DEFAULT_EPS",
+    "DEFAULT_THRESHOLD",
+    "INITIAL_CHARGER_COUNTS",
+    "INITIAL_DEVICE_COUNTS",
+    "default_charger_types",
+    "default_device_types",
+    "default_coefficients",
+    "default_obstacles",
+    "default_budgets",
+    "random_devices",
+    "random_scenario",
+    "small_scenario",
+]
+
+DEFAULT_BOUNDS: tuple[float, float, float, float] = (0.0, 0.0, 40.0, 40.0)
+DEFAULT_THRESHOLD: float = 0.05
+DEFAULT_EPS: float = 0.15
+
+#: Table 2 + §6 initial cardinalities.
+INITIAL_CHARGER_COUNTS: dict[str, int] = {"charger-1": 1, "charger-2": 2, "charger-3": 3}
+#: §6 initial device cardinalities for device types 1–4.
+INITIAL_DEVICE_COUNTS: tuple[int, ...] = (4, 3, 2, 1)
+
+
+def default_charger_types() -> list[ChargerType]:
+    """Table 2: the three heterogeneous charger types."""
+    return [
+        ChargerType("charger-1", math.pi / 6.0, 5.0, 10.0),
+        ChargerType("charger-2", math.pi / 3.0, 3.0, 8.0),
+        ChargerType("charger-3", math.pi / 2.0, 2.0, 6.0),
+    ]
+
+
+def default_device_types() -> list[DeviceType]:
+    """Table 3: the four heterogeneous device types."""
+    return [
+        DeviceType("device-1", math.pi / 2.0),
+        DeviceType("device-2", 2.0 * math.pi / 3.0),
+        DeviceType("device-3", 3.0 * math.pi / 4.0),
+        DeviceType("device-4", math.pi),
+    ]
+
+
+def default_coefficients() -> CoefficientTable:
+    """Table 4: ``a`` rises by 30 per device type and 10 per charger type,
+    with ``b = 0.4 a`` throughout."""
+    entries: dict[tuple[str, str], PairCoefficients] = {}
+    for ci in range(1, 4):
+        for di in range(1, 5):
+            a = 100.0 + 30.0 * (di - 1) + 10.0 * (ci - 1)
+            entries[(f"charger-{ci}", f"device-{di}")] = PairCoefficients(a, 0.4 * a)
+    return CoefficientTable(entries)
+
+
+def default_obstacles() -> list[Polygon]:
+    """Two obstacles of the simulation scenario (Fig. 10(a))."""
+    box = rectangle(10.0, 22.0, 18.0, 28.0)
+    triangle = Polygon([(24.0, 8.0), (32.0, 10.0), (27.0, 16.0)])
+    return [box, triangle]
+
+
+def default_budgets(multiple: int = 3) -> dict[str, int]:
+    """Charger budgets at *multiple* times the initial cardinalities."""
+    if multiple < 0:
+        raise ValueError("multiple must be non-negative")
+    return {name: count * multiple for name, count in INITIAL_CHARGER_COUNTS.items()}
+
+
+def random_devices(
+    rng: np.random.Generator,
+    *,
+    device_multiple: int = 4,
+    threshold: float = DEFAULT_THRESHOLD,
+    bounds: tuple[float, float, float, float] = DEFAULT_BOUNDS,
+    obstacles: list[Polygon] | None = None,
+    counts: tuple[int, ...] | None = None,
+) -> list[Device]:
+    """Random device topology: positions uniform over the free area,
+    orientations uniform; infeasible draws (inside obstacles) are re-sampled
+    as §6 prescribes."""
+    obstacles = default_obstacles() if obstacles is None else obstacles
+    counts = counts if counts is not None else tuple(c * device_multiple for c in INITIAL_DEVICE_COUNTS)
+    dtypes = default_device_types()
+    if len(counts) != len(dtypes):
+        raise ValueError(f"need {len(dtypes)} device counts, got {len(counts)}")
+    xmin, ymin, xmax, ymax = bounds
+    devices: list[Device] = []
+    for dt, n in zip(dtypes, counts):
+        for _ in range(n):
+            while True:
+                p = (rng.uniform(xmin, xmax), rng.uniform(ymin, ymax))
+                if not any(h.contains(p) for h in obstacles):
+                    break
+            devices.append(Device(p, rng.uniform(0.0, TWO_PI), dt, threshold))
+    return devices
+
+
+def random_scenario(
+    rng: np.random.Generator,
+    *,
+    charger_multiple: int = 3,
+    device_multiple: int = 4,
+    threshold: float = DEFAULT_THRESHOLD,
+    bounds: tuple[float, float, float, float] = DEFAULT_BOUNDS,
+    obstacles: list[Polygon] | None = None,
+    device_counts: tuple[int, ...] | None = None,
+) -> Scenario:
+    """One random instance of the §6 simulation setup."""
+    obstacles = default_obstacles() if obstacles is None else obstacles
+    devices = random_devices(
+        rng,
+        device_multiple=device_multiple,
+        threshold=threshold,
+        bounds=bounds,
+        obstacles=obstacles,
+        counts=device_counts,
+    )
+    return Scenario(
+        bounds=bounds,
+        devices=tuple(devices),
+        obstacles=tuple(obstacles),
+        charger_types=tuple(default_charger_types()),
+        budgets=default_budgets(charger_multiple),
+        table=default_coefficients(),
+    )
+
+
+def small_scenario(rng: np.random.Generator, *, num_devices: int = 6, with_obstacle: bool = True) -> Scenario:
+    """A fast, downsized instance for tests: 20 m × 20 m, one obstacle,
+    one charger of each type, *num_devices* devices cycling the types."""
+    bounds = (0.0, 0.0, 20.0, 20.0)
+    obstacles = [rectangle(8.0, 8.0, 11.0, 11.0)] if with_obstacle else []
+    dtypes = default_device_types()
+    devices = []
+    for k in range(num_devices):
+        while True:
+            p = (rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0))
+            if not any(h.contains(p) for h in obstacles):
+                break
+        devices.append(Device(p, rng.uniform(0.0, TWO_PI), dtypes[k % len(dtypes)], DEFAULT_THRESHOLD))
+    return Scenario(
+        bounds=bounds,
+        devices=tuple(devices),
+        obstacles=tuple(obstacles),
+        charger_types=tuple(default_charger_types()),
+        budgets={"charger-1": 1, "charger-2": 1, "charger-3": 1},
+        table=default_coefficients(),
+    )

@@ -1,0 +1,107 @@
+"""SVG rendering of scenarios and placements (no plotting dependencies).
+
+Produces self-contained SVG files equivalent to the paper's instance plots
+(Fig. 10 / Fig. 24): obstacles as grey polygons, devices as dots with their
+receiving sectors, chargers as arrows with translucent charging sector
+rings.  Pure string generation — viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..model.entities import Device, Strategy
+from ..model.network import Scenario
+
+__all__ = ["render_svg", "save_svg"]
+
+_CHARGER_COLORS = ("#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e")
+
+
+def _sector_ring_path(cx, cy, orientation, half_angle, rmin, rmax) -> str:
+    """SVG path for a sector ring (annulus sector)."""
+    a0, a1 = orientation - half_angle, orientation + half_angle
+    large = 1 if (a1 - a0) % (2 * math.pi) > math.pi else 0
+    p = []
+    x0, y0 = cx + rmax * math.cos(a0), cy + rmax * math.sin(a0)
+    x1, y1 = cx + rmax * math.cos(a1), cy + rmax * math.sin(a1)
+    x2, y2 = cx + rmin * math.cos(a1), cy + rmin * math.sin(a1)
+    x3, y3 = cx + rmin * math.cos(a0), cy + rmin * math.sin(a0)
+    p.append(f"M {x0:.3f} {y0:.3f}")
+    p.append(f"A {rmax:.3f} {rmax:.3f} 0 {large} 1 {x1:.3f} {y1:.3f}")
+    p.append(f"L {x2:.3f} {y2:.3f}")
+    p.append(f"A {rmin:.3f} {rmin:.3f} 0 {large} 0 {x3:.3f} {y3:.3f}")
+    p.append("Z")
+    return " ".join(p)
+
+
+def render_svg(
+    scenario: Scenario,
+    strategies: Sequence[Strategy] = (),
+    *,
+    size: int = 640,
+    show_receiving_areas: bool = False,
+) -> str:
+    """Render the scenario (and an optional placement) as an SVG document."""
+    xmin, ymin, xmax, ymax = scenario.bounds
+    span = max(xmax - xmin, ymax - ymin)
+    scale = size / span
+    w = (xmax - xmin) * scale
+    h = (ymax - ymin) * scale
+
+    def sx(x: float) -> float:
+        return (x - xmin) * scale
+
+    def sy(y: float) -> float:
+        return h - (y - ymin) * scale  # SVG y grows downward
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0f}" height="{h:.0f}" '
+        f'viewBox="0 0 {w:.0f} {h:.0f}">',
+        f'<rect width="{w:.0f}" height="{h:.0f}" fill="#fbfbf8" stroke="#333"/>',
+    ]
+
+    for hpoly in scenario.obstacles:
+        pts = " ".join(f"{sx(x):.2f},{sy(y):.2f}" for x, y in hpoly.vertices)
+        parts.append(f'<polygon points="{pts}" fill="#8a8a8a" stroke="#444" stroke-width="1"/>')
+
+    type_color = {
+        ct.name: _CHARGER_COLORS[i % len(_CHARGER_COLORS)]
+        for i, ct in enumerate(scenario.charger_types)
+    }
+
+    for s in strategies:
+        color = type_color.get(s.ctype.name, "#d62728")
+        cx, cy = sx(s.position[0]), sy(s.position[1])
+        # The charging sector ring, mirrored in screen coordinates (-theta).
+        path = _sector_ring_path(
+            cx, cy, -s.orientation, s.ctype.half_angle, s.ctype.dmin * scale, s.ctype.dmax * scale
+        )
+        parts.append(f'<path d="{path}" fill="{color}" fill-opacity="0.12" stroke="{color}" stroke-opacity="0.45"/>')
+        ex = cx + 10.0 * math.cos(-s.orientation)
+        ey = cy + 10.0 * math.sin(-s.orientation)
+        parts.append(f'<line x1="{cx:.2f}" y1="{cy:.2f}" x2="{ex:.2f}" y2="{ey:.2f}" stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<rect x="{cx - 3:.2f}" y="{cy - 3:.2f}" width="6" height="6" fill="{color}"/>')
+
+    for d in scenario.devices:
+        cx, cy = sx(d.position[0]), sy(d.position[1])
+        if show_receiving_areas and scenario.charger_types:
+            ct = scenario.charger_types[0]
+            path = _sector_ring_path(
+                cx, cy, -d.orientation, d.dtype.half_angle, ct.dmin * scale, ct.dmax * scale
+            )
+            parts.append(f'<path d="{path}" fill="#1f77b4" fill-opacity="0.05" stroke="#1f77b4" stroke-opacity="0.2"/>')
+        ex = cx + 7.0 * math.cos(-d.orientation)
+        ey = cy + 7.0 * math.sin(-d.orientation)
+        parts.append(f'<line x1="{cx:.2f}" y1="{cy:.2f}" x2="{ex:.2f}" y2="{ey:.2f}" stroke="#1a1a1a" stroke-width="1"/>')
+        parts.append(f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="3" fill="#1a1a1a"/>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path: str, scenario: Scenario, strategies: Sequence[Strategy] = (), **kw) -> None:
+    """Write :func:`render_svg` output to *path*."""
+    with open(path, "w") as f:
+        f.write(render_svg(scenario, strategies, **kw))

@@ -1,0 +1,110 @@
+"""Generic parameter-sweep engine for the §6 evaluation.
+
+Every point of a paper figure is "average charging utility of algorithm A
+at parameter value x over R random topologies".  The engine fixes the random
+topology per (x, repeat) cell so all algorithms are compared on identical
+instances, and derives all randomness from one ``SeedSequence`` for exact
+reproducibility.  The paper uses R = 100; benches default far lower (the
+ordering of algorithms is stable already at a handful of repeats) and scale
+via ``REPRO_BENCH_REPEATS``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..baselines.registry import ALGORITHMS
+from ..model.network import Scenario
+from .reporting import SeriesTable
+
+__all__ = ["bench_repeats", "run_sweep", "DEFAULT_ALGORITHMS"]
+
+#: Paper order of the nine compared algorithms.
+DEFAULT_ALGORITHMS: tuple[str, ...] = (
+    "HIPO",
+    "GPPDCS Triangle",
+    "GPPDCS Square",
+    "GPAD Triangle",
+    "GPAD Square",
+    "GPAR Triangle",
+    "GPAR Square",
+    "RPAD",
+    "RPAR",
+)
+
+
+def bench_repeats(default: int = 3) -> int:
+    """Repeat count for bench harnesses, overridable by REPRO_BENCH_REPEATS."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_REPEATS", default)))
+    except ValueError:
+        return default
+
+
+def _run_cell(args) -> tuple[int, dict[str, float]]:
+    """One (x, repeat) cell: build the topology, run every algorithm.
+
+    Top-level so ProcessPoolExecutor can pickle it; *factory* must then be a
+    module-level callable (the figure factories are).
+    """
+    factory, x, seed, xi, r, algorithms = args
+    cell_seq = np.random.SeedSequence((seed, xi, r))
+    topo_rng = np.random.default_rng(cell_seq.spawn(1)[0])
+    scenario = factory(x, topo_rng)
+    out: dict[str, float] = {}
+    for ai, name in enumerate(algorithms):
+        algo_rng = np.random.default_rng(np.random.SeedSequence((seed, xi, r, ai)))
+        strategies = ALGORITHMS[name](scenario, algo_rng)
+        out[name] = scenario.utility_of(strategies)
+    return xi, out
+
+
+def run_sweep(
+    xs: Sequence,
+    scenario_factory: Callable[[object, np.random.Generator], Scenario],
+    *,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    repeats: int = 3,
+    seed: int = 20180816,
+    x_label: str = "x",
+    workers: int | None = None,
+) -> SeriesTable:
+    """Average utility of each algorithm at each x over *repeats* topologies.
+
+    *scenario_factory(x, rng)* builds the instance for one cell; the same
+    instance is handed to every algorithm, each with an independent child
+    generator (only the randomized baselines consume it).
+
+    With ``workers > 1`` the (x, repeat) cells run in a process pool —
+    results are bit-identical to the serial run (all randomness is derived
+    from per-cell ``SeedSequence`` keys, not shared state), but the factory
+    must be picklable (a module-level function; the built-in figure
+    factories qualify, ad-hoc lambdas do not).
+    """
+    algorithms = tuple(algorithms)
+    unknown = [a for a in algorithms if a not in ALGORITHMS]
+    if unknown:
+        raise KeyError(f"unknown algorithms: {unknown}")
+    table = SeriesTable(x_label, list(xs))
+    sums = {name: np.zeros(len(table.x)) for name in algorithms}
+    cells = [
+        (scenario_factory, x, seed, xi, r, algorithms)
+        for xi, x in enumerate(table.x)
+        for r in range(repeats)
+    ]
+    if workers is not None and workers > 1 and len(cells) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+            results = list(pool.map(_run_cell, cells))
+    else:
+        results = [_run_cell(c) for c in cells]
+    for xi, utilities in results:
+        for name, u in utilities.items():
+            sums[name][xi] += u
+    for name in algorithms:
+        table.add(name, (sums[name] / repeats).tolist())
+    return table

@@ -1,0 +1,43 @@
+"""Discussion-section extensions (§8): redeployment, deployment costs, fairness."""
+
+from .budgeted import (
+    BudgetedSolution,
+    DeploymentCostModel,
+    budgeted_placement,
+    multi_base_travel,
+    placement_cost,
+)
+from .fairness import (
+    FairnessSolution,
+    maxmin_placement,
+    min_utility,
+    proportional_fair_placement,
+    utilities_of,
+)
+from .redeployment import (
+    RedeploymentPlan,
+    cost_matrix,
+    minimize_max_overhead,
+    minimize_total_overhead,
+    redeploy,
+    switching_cost,
+)
+
+__all__ = [
+    "BudgetedSolution",
+    "DeploymentCostModel",
+    "FairnessSolution",
+    "RedeploymentPlan",
+    "budgeted_placement",
+    "cost_matrix",
+    "maxmin_placement",
+    "min_utility",
+    "minimize_max_overhead",
+    "minimize_total_overhead",
+    "multi_base_travel",
+    "placement_cost",
+    "proportional_fair_placement",
+    "redeploy",
+    "switching_cost",
+    "utilities_of",
+]

@@ -1,0 +1,156 @@
+"""Charger redeployment when the device topology changes (§8.1).
+
+Given the per-type original strategy sets ``U_q`` and new strategy sets
+``V_q`` (e.g. two HIPO solutions for the old and new topologies), each type's
+transfer is a perfect matching in the complete bipartite graph with switching
+overheads as weights.  Two objectives are supported:
+
+* **minimize overall switching overhead** — one Hungarian assignment per
+  type (§8.1.1);
+* **minimize maximum switching overhead** — binary search over the sorted
+  distinct weights for the smallest bottleneck admitting a perfect matching
+  (Hall's condition, certified by Hopcroft–Karp), then a Hungarian pass
+  restricted to edges under the bottleneck to also minimize the total
+  (§8.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..model.entities import Strategy
+from ..opt.matching import has_perfect_matching, hungarian
+
+__all__ = [
+    "switching_cost",
+    "cost_matrix",
+    "RedeploymentPlan",
+    "minimize_total_overhead",
+    "minimize_max_overhead",
+    "redeploy",
+]
+
+
+def switching_cost(
+    old: Strategy,
+    new: Strategy,
+    *,
+    move_weight: float = 1.0,
+    rotate_weight: float = 1.0,
+) -> float:
+    """Overhead of transforming *old* into *new*: weighted travel distance
+    plus weighted rotation angle (both ways of consuming energy, §8.2)."""
+    dx = new.position[0] - old.position[0]
+    dy = new.position[1] - old.position[1]
+    dist = math.hypot(dx, dy)
+    dtheta = abs((new.orientation - old.orientation + math.pi) % (2.0 * math.pi) - math.pi)
+    return move_weight * dist + rotate_weight * dtheta
+
+
+def cost_matrix(
+    old: Sequence[Strategy],
+    new: Sequence[Strategy],
+    *,
+    cost_fn: Callable[[Strategy, Strategy], float] | None = None,
+) -> np.ndarray:
+    """Square switching-overhead matrix for one charger type."""
+    if len(old) != len(new):
+        raise ValueError("redeployment requires equal old/new strategy counts per type")
+    fn = cost_fn if cost_fn is not None else switching_cost
+    n = len(old)
+    c = np.zeros((n, n))
+    for i, u in enumerate(old):
+        for j, v in enumerate(new):
+            c[i, j] = fn(u, v)
+    return c
+
+
+@dataclass
+class RedeploymentPlan:
+    """A per-type assignment ``old index → new index`` with its overheads."""
+
+    assignments: dict[str, np.ndarray]
+    total_overhead: float
+    max_overhead: float
+
+
+def minimize_total_overhead(costs: dict[str, np.ndarray]) -> RedeploymentPlan:
+    """§8.1.1: Hungarian per type; minimizes the summed switching overhead."""
+    assignments: dict[str, np.ndarray] = {}
+    total = 0.0
+    worst = 0.0
+    for name, c in costs.items():
+        assignment, t = hungarian(c)
+        assignments[name] = assignment
+        total += t
+        if len(c):
+            worst = max(worst, max(float(c[i, assignment[i]]) for i in range(len(c))))
+    return RedeploymentPlan(assignments, total, worst)
+
+
+def minimize_max_overhead(costs: dict[str, np.ndarray]) -> RedeploymentPlan:
+    """§8.1.2: minimize the bottleneck overhead, then the total.
+
+    Step 1 binary-searches the sorted distinct weights across all types for
+    the smallest threshold under which every type's bipartite graph still has
+    a perfect matching.  Step 2 removes heavier edges (cost → ∞) and runs the
+    Hungarian algorithm to minimize the total overhead subject to that
+    bottleneck.
+    """
+    weights = np.unique(np.concatenate([c.ravel() for c in costs.values()]) if costs else np.zeros(0))
+    if weights.size == 0:
+        return RedeploymentPlan({name: np.zeros(0, dtype=int) for name in costs}, 0.0, 0.0)
+
+    def feasible(w: float) -> bool:
+        return all(has_perfect_matching(c <= w + 1e-12) for c in costs.values())
+
+    lo, hi = 0, len(weights) - 1
+    if not feasible(float(weights[hi])):
+        raise ValueError("no perfect matching exists even with all edges")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(float(weights[mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    bottleneck = float(weights[lo])
+
+    assignments: dict[str, np.ndarray] = {}
+    total = 0.0
+    worst = 0.0
+    for name, c in costs.items():
+        restricted = np.where(c <= bottleneck + 1e-12, c, np.inf)
+        assignment, t = hungarian(restricted)
+        assignments[name] = assignment
+        total += t
+        if len(c):
+            worst = max(worst, max(float(c[i, assignment[i]]) for i in range(len(c))))
+    return RedeploymentPlan(assignments, total, worst)
+
+
+def redeploy(
+    old_by_type: dict[str, list[Strategy]],
+    new_by_type: dict[str, list[Strategy]],
+    *,
+    objective: str = "total",
+    cost_fn: Callable[[Strategy, Strategy], float] | None = None,
+) -> RedeploymentPlan:
+    """Plan the transfer between two placements.
+
+    *objective* is ``"total"`` (§8.1.1) or ``"max"`` (§8.1.2).
+    """
+    if set(old_by_type) != set(new_by_type):
+        raise ValueError("old and new placements must cover the same charger types")
+    costs = {
+        name: cost_matrix(old_by_type[name], new_by_type[name], cost_fn=cost_fn)
+        for name in old_by_type
+    }
+    if objective == "total":
+        return minimize_total_overhead(costs)
+    if objective == "max":
+        return minimize_max_overhead(costs)
+    raise ValueError(f"unknown objective {objective!r}")

@@ -1,0 +1,101 @@
+"""Planar geometry substrate for the HIPO reproduction.
+
+Built from scratch (no shapely dependency): primitives, segment/circle
+intersections, simple polygons (obstacles), sector rings (charging and
+receiving areas), line-of-sight / hole computations, and grid generators.
+"""
+
+from .circles import (
+    circle_circle_intersections,
+    circle_line_intersections,
+    circle_ray_intersections,
+    circle_segment_intersections,
+    inscribed_angle_arc_centers,
+    inscribed_angle_arc_points,
+    point_subtends_angle,
+)
+from .grid import grid_length_for_radius, square_grid, triangular_grid
+from .polygon import Polygon, convex_hull, rectangle, regular_polygon
+from .primitives import (
+    EPS,
+    TWO_PI,
+    angle_of,
+    angle_within,
+    angles_of,
+    cross2,
+    dedupe_points,
+    distance,
+    distances,
+    dot2,
+    is_close_point,
+    normalize_angle,
+    polar_offset,
+    rotate,
+    signed_angle_diff,
+    unit_vector,
+)
+from .sector import SectorRing
+from .segments import (
+    line_intersection,
+    line_segment_intersection,
+    point_on_segment,
+    point_segment_distance,
+    ray_segment_intersection,
+    segment_intersection,
+    segment_segment_distance,
+    segments_intersect,
+    segments_properly_intersect,
+)
+from .visibility import (
+    line_of_sight,
+    obstacle_boundary_segments,
+    shadow_rays,
+    visible_mask,
+)
+
+__all__ = [
+    "EPS",
+    "TWO_PI",
+    "Polygon",
+    "SectorRing",
+    "angle_of",
+    "angle_within",
+    "angles_of",
+    "circle_circle_intersections",
+    "circle_line_intersections",
+    "circle_ray_intersections",
+    "circle_segment_intersections",
+    "convex_hull",
+    "cross2",
+    "dedupe_points",
+    "distance",
+    "distances",
+    "dot2",
+    "grid_length_for_radius",
+    "inscribed_angle_arc_centers",
+    "inscribed_angle_arc_points",
+    "is_close_point",
+    "line_intersection",
+    "line_of_sight",
+    "line_segment_intersection",
+    "normalize_angle",
+    "obstacle_boundary_segments",
+    "point_on_segment",
+    "point_segment_distance",
+    "point_subtends_angle",
+    "polar_offset",
+    "ray_segment_intersection",
+    "rectangle",
+    "regular_polygon",
+    "rotate",
+    "segment_intersection",
+    "segment_segment_distance",
+    "segments_intersect",
+    "segments_properly_intersect",
+    "shadow_rays",
+    "signed_angle_diff",
+    "square_grid",
+    "triangular_grid",
+    "unit_vector",
+    "visible_mask",
+]

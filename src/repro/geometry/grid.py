@@ -1,0 +1,60 @@
+"""Grid point generators for the grid-based baseline algorithms of §6.
+
+The comparison algorithms GPAR/GPAD/GPPDCS place chargers on square or
+triangular grid points with grid length ``sqrt(2)/2 * dmax`` for each charger
+type's charging radius ``dmax``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["square_grid", "triangular_grid", "grid_length_for_radius"]
+
+
+def grid_length_for_radius(dmax: float) -> float:
+    """The paper's grid pitch ``sqrt(2)/2 * dmax`` for charging radius *dmax*."""
+    return math.sqrt(2.0) / 2.0 * dmax
+
+
+def square_grid(xmin: float, ymin: float, xmax: float, ymax: float, pitch: float) -> np.ndarray:
+    """Square lattice points covering ``[xmin, xmax] x [ymin, ymax]``.
+
+    The lattice is centered so that leftover margin is split evenly.
+    """
+    if pitch <= 0.0:
+        raise ValueError("pitch must be positive")
+    w, h = xmax - xmin, ymax - ymin
+    nx = max(1, int(math.floor(w / pitch)) + 1)
+    ny = max(1, int(math.floor(h / pitch)) + 1)
+    x0 = xmin + (w - (nx - 1) * pitch) / 2.0
+    y0 = ymin + (h - (ny - 1) * pitch) / 2.0
+    xs = x0 + pitch * np.arange(nx)
+    ys = y0 + pitch * np.arange(ny)
+    gx, gy = np.meshgrid(xs, ys)
+    return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+def triangular_grid(xmin: float, ymin: float, xmax: float, ymax: float, pitch: float) -> np.ndarray:
+    """Triangular (hexagonal-packing) lattice with edge length *pitch*.
+
+    Rows are spaced ``pitch * sqrt(3)/2`` apart and every other row is offset
+    by half a pitch — the classical equilateral-triangle deployment lattice.
+    """
+    if pitch <= 0.0:
+        raise ValueError("pitch must be positive")
+    row_h = pitch * math.sqrt(3.0) / 2.0
+    w, h = xmax - xmin, ymax - ymin
+    ny = max(1, int(math.floor(h / row_h)) + 1)
+    y0 = ymin + (h - (ny - 1) * row_h) / 2.0
+    pts = []
+    for j in range(ny):
+        offset = (pitch / 2.0) if (j % 2 == 1) else 0.0
+        nx = max(1, int(math.floor((w - offset) / pitch)) + 1)
+        x0 = xmin + offset + (w - offset - (nx - 1) * pitch) / 2.0
+        xs = x0 + pitch * np.arange(nx)
+        ys = np.full(nx, y0 + j * row_h)
+        pts.append(np.column_stack([xs, ys]))
+    return np.vstack(pts)

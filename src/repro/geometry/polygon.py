@@ -1,0 +1,244 @@
+"""Simple polygons: obstacles of the HIPO problem.
+
+The paper allows obstacles of arbitrary shape; we model each obstacle as a
+simple (possibly non-convex) polygon, per Lemma 4.4 which assumes at most
+``c`` edges per obstacle.  ``Polygon`` is immutable and caches its edge list
+and bounding box since obstacles are queried millions of times by the
+line-of-sight tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .primitives import EPS, cross2
+from .segments import point_on_segment, point_segment_distance, segments_properly_intersect
+
+__all__ = ["Polygon", "convex_hull", "regular_polygon", "rectangle"]
+
+
+class Polygon:
+    """An immutable simple polygon given by its vertex loop.
+
+    Vertices are stored counter-clockwise regardless of input orientation.
+    """
+
+    __slots__ = ("_vertices", "_bbox", "_area", "_edge_cache")
+
+    def __init__(self, vertices: Iterable[Sequence[float]]):
+        verts = np.asarray(list(vertices), dtype=float)
+        if verts.ndim != 2 or verts.shape[1] != 2 or len(verts) < 3:
+            raise ValueError("a polygon needs at least 3 (x, y) vertices")
+        signed = _signed_area(verts)
+        if abs(signed) < EPS:
+            raise ValueError("degenerate polygon with zero area")
+        if signed < 0.0:
+            verts = verts[::-1].copy()
+        self._vertices = verts
+        self._vertices.setflags(write=False)
+        self._bbox = (
+            float(verts[:, 0].min()),
+            float(verts[:, 1].min()),
+            float(verts[:, 0].max()),
+            float(verts[:, 1].max()),
+        )
+        self._area = abs(signed)
+        self._edge_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """``(n, 2)`` read-only vertex array, counter-clockwise."""
+        return self._vertices
+
+    @property
+    def bbox(self) -> tuple[float, float, float, float]:
+        """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)``."""
+        return self._bbox
+
+    @property
+    def area(self) -> float:
+        """Enclosed area (always positive)."""
+        return self._area
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._vertices)
+
+    def edges(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate ``(a, b)`` vertex pairs of the boundary edges."""
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            yield verts[i], verts[(i + 1) % n]
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(starts, ends, directions)`` arrays of the boundary edges,
+        each of shape ``(E, 2)`` — the vectorized counterpart of :meth:`edges`."""
+        if self._edge_cache is None:
+            c = self._vertices
+            d = np.roll(c, -1, axis=0)
+            self._edge_cache = (c, d, d - c)
+        return self._edge_cache
+
+    def centroid(self) -> np.ndarray:
+        """Area centroid of the polygon."""
+        verts = self._vertices
+        x, y = verts[:, 0], verts[:, 1]
+        xn, yn = np.roll(x, -1), np.roll(y, -1)
+        cross = x * yn - xn * y
+        a = cross.sum() / 2.0
+        cx = ((x + xn) * cross).sum() / (6.0 * a)
+        cy = ((y + yn) * cross).sum() / (6.0 * a)
+        return np.array([cx, cy])
+
+    def contains(self, p: Sequence[float], *, include_boundary: bool = True) -> bool:
+        """Point-in-polygon test (even-odd ray casting).
+
+        Boundary points count as inside iff *include_boundary*.
+        """
+        x, y = float(p[0]), float(p[1])
+        xmin, ymin, xmax, ymax = self._bbox
+        if x < xmin - EPS or x > xmax + EPS or y < ymin - EPS or y > ymax + EPS:
+            return False
+        if self.on_boundary(p):
+            return include_boundary
+        inside = False
+        verts = self._vertices
+        n = len(verts)
+        j = n - 1
+        for i in range(n):
+            xi, yi = verts[i]
+            xj, yj = verts[j]
+            if (yi > y) != (yj > y):
+                x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def contains_many(self, points: np.ndarray, *, include_boundary: bool = True) -> np.ndarray:
+        """Vectorized :meth:`contains` over an ``(n, 2)`` array.
+
+        Boundary handling falls back to the scalar path only for points whose
+        crossing parity is ambiguous, so the common case is one numpy pass.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.size == 0:
+            return np.zeros(0, dtype=bool)
+        x, y = pts[:, 0], pts[:, 1]
+        verts = self._vertices
+        xi, yi = verts[:, 0], verts[:, 1]
+        xj, yj = np.roll(xi, 1), np.roll(yi, 1)
+        # (points, edges) crossing test
+        cond = (yi[None, :] > y[:, None]) != (yj[None, :] > y[:, None])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = (xj - xi)[None, :] * (y[:, None] - yi[None, :]) / (yj - yi)[None, :] + xi[None, :]
+        crossing = cond & (x[:, None] < x_cross)
+        inside = crossing.sum(axis=1) % 2 == 1
+        # boundary refinement
+        near = (
+            (x >= self._bbox[0] - EPS)
+            & (x <= self._bbox[2] + EPS)
+            & (y >= self._bbox[1] - EPS)
+            & (y <= self._bbox[3] + EPS)
+        )
+        for k in np.nonzero(near)[0]:
+            if self.on_boundary(pts[k]):
+                inside[k] = include_boundary
+        return inside
+
+    def on_boundary(self, p: Sequence[float], *, tol: float = 1e-9) -> bool:
+        """Whether *p* lies on the polygon boundary."""
+        for a, b in self.edges():
+            if point_on_segment(p, a, b, tol=tol):
+                return True
+        return False
+
+    def blocks_segment(self, a: Sequence[float], b: Sequence[float]) -> bool:
+        """Whether segment ``ab`` is blocked by this obstacle.
+
+        The paper's condition ``s_i o_j ∩ h_k = ∅`` requires the open segment
+        between charger and device not to meet the obstacle's interior.  A
+        segment that merely grazes a vertex or slides along an edge is treated
+        as blocked only if its midpoint is strictly inside; strict proper
+        crossings of any edge always block.
+        """
+        xmin, ymin, xmax, ymax = self._bbox
+        if max(a[0], b[0]) < xmin - EPS or min(a[0], b[0]) > xmax + EPS:
+            return False
+        if max(a[1], b[1]) < ymin - EPS or min(a[1], b[1]) > ymax + EPS:
+            return False
+        for c, d in self.edges():
+            if segments_properly_intersect(a, b, c, d):
+                return True
+        mid = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+        return self.contains(mid, include_boundary=False)
+
+    def distance_to_point(self, p: Sequence[float]) -> float:
+        """Distance from *p* to the polygon (0 inside)."""
+        if self.contains(p):
+            return 0.0
+        return min(point_segment_distance(p, a, b) for a, b in self.edges())
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """A copy shifted by ``(dx, dy)``."""
+        return Polygon(self._vertices + np.array([dx, dy]))
+
+    def scaled(self, factor: float, *, about: Sequence[float] | None = None) -> "Polygon":
+        """A copy scaled by *factor* about *about* (default: centroid)."""
+        origin = np.asarray(about if about is not None else self.centroid(), dtype=float)
+        return Polygon(origin + factor * (self._vertices - origin))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Polygon({len(self._vertices)} vertices, area={self._area:.3g})"
+
+
+def _signed_area(verts: np.ndarray) -> float:
+    x, y = verts[:, 0], verts[:, 1]
+    return float((x * np.roll(y, -1) - np.roll(x, -1) * y).sum() / 2.0)
+
+
+def convex_hull(points: Iterable[Sequence[float]]) -> Polygon:
+    """Convex hull (Andrew's monotone chain) of at least 3 non-collinear points."""
+    pts = sorted({(float(p[0]), float(p[1])) for p in points})
+    if len(pts) < 3:
+        raise ValueError("need at least 3 distinct points")
+
+    def half(seq: list[tuple[float, float]]) -> list[tuple[float, float]]:
+        out: list[tuple[float, float]] = []
+        for p in seq:
+            # Pop on cross <= 0 exactly: an EPS-tolerant pop can discard a
+            # genuinely convex vertex whose turn is tiny, losing extreme
+            # points of nearly-degenerate inputs.
+            while len(out) >= 2 and cross2(
+                (out[-1][0] - out[-2][0], out[-1][1] - out[-2][1]),
+                (p[0] - out[-2][0], p[1] - out[-2][1]),
+            ) <= 0.0:
+                out.pop()
+            out.append(p)
+        return out
+
+    lower = half(pts)
+    upper = half(pts[::-1])
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        raise ValueError("points are collinear")
+    return Polygon(hull)
+
+
+def regular_polygon(center: Sequence[float], radius: float, n: int, *, phase: float = 0.0) -> Polygon:
+    """Regular *n*-gon inscribed in the circle ``(center, radius)``."""
+    if n < 3:
+        raise ValueError("need n >= 3")
+    thetas = phase + 2.0 * math.pi * np.arange(n) / n
+    return Polygon(np.column_stack([center[0] + radius * np.cos(thetas), center[1] + radius * np.sin(thetas)]))
+
+
+def rectangle(xmin: float, ymin: float, xmax: float, ymax: float) -> Polygon:
+    """Axis-aligned rectangle."""
+    if xmax <= xmin or ymax <= ymin:
+        raise ValueError("empty rectangle")
+    return Polygon([(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)])

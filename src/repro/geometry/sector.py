@@ -1,0 +1,126 @@
+"""Sector-ring regions — the charging / receiving areas of the HIPO model.
+
+A :class:`SectorRing` is the set of points at distance ``[rmin, rmax]`` from
+an apex whose bearing from the apex deviates from ``orientation`` by at most
+``half_angle``.  With ``rmin = 0`` it degenerates to the classical sector of
+the directional charging model [Dai et al.]; with ``half_angle = pi`` it is a
+full annulus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .primitives import (
+    EPS,
+    TWO_PI,
+    angle_within,
+    normalize_angle,
+    polar_offset,
+    unit_vector,
+)
+
+__all__ = ["SectorRing"]
+
+
+@dataclass(frozen=True)
+class SectorRing:
+    """Sector ring with apex ``center``, bearing ``orientation`` (radians),
+    aperture ``2 * half_angle`` and radial extent ``[rmin, rmax]``."""
+
+    center: tuple[float, float]
+    orientation: float
+    half_angle: float
+    rmin: float
+    rmax: float
+
+    def __post_init__(self) -> None:
+        if self.rmin < 0.0 or self.rmax <= 0.0 or self.rmax < self.rmin:
+            raise ValueError(f"invalid radial extent [{self.rmin}, {self.rmax}]")
+        if not (0.0 < self.half_angle <= math.pi + EPS):
+            raise ValueError(f"invalid half angle {self.half_angle}")
+        object.__setattr__(self, "orientation", normalize_angle(self.orientation))
+
+    # -- membership -----------------------------------------------------
+
+    def contains(self, p: Sequence[float], *, tol: float = EPS) -> bool:
+        """Whether point *p* lies in the closed sector ring."""
+        dx = p[0] - self.center[0]
+        dy = p[1] - self.center[1]
+        d = math.hypot(dx, dy)
+        if d < self.rmin - tol or d > self.rmax + tol:
+            return False
+        if d < EPS:
+            # The apex itself: inside only when rmin == 0.
+            return self.rmin <= tol
+        theta = math.atan2(dy, dx)
+        return angle_within(theta, self.orientation, self.half_angle, tol=tol)
+
+    def contains_many(self, points: np.ndarray, *, tol: float = EPS) -> np.ndarray:
+        """Vectorized :meth:`contains` over an ``(n, 2)`` array."""
+        pts = np.asarray(points, dtype=float)
+        if pts.size == 0:
+            return np.zeros(0, dtype=bool)
+        d = pts - np.asarray(self.center, dtype=float)
+        r = np.hypot(d[:, 0], d[:, 1])
+        theta = np.arctan2(d[:, 1], d[:, 0])
+        diff = np.abs(np.mod(theta - self.orientation + math.pi, TWO_PI) - math.pi)
+        ok_r = (r >= self.rmin - tol) & (r <= self.rmax + tol)
+        ok_a = diff <= self.half_angle + tol
+        ok_a |= r < EPS
+        return ok_r & ok_a & ((r >= EPS) | (self.rmin <= tol))
+
+    # -- boundary --------------------------------------------------------
+
+    def radial_edges(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """The two straight boundary edges (absent for a full annulus)."""
+        if self.half_angle >= math.pi - EPS:
+            return []
+        edges = []
+        for sign in (-1.0, 1.0):
+            theta = self.orientation + sign * self.half_angle
+            a = polar_offset(self.center, theta, self.rmin)
+            b = polar_offset(self.center, theta, self.rmax)
+            edges.append((a, b))
+        return edges
+
+    def clockwise_boundary_angle(self) -> float:
+        """Bearing of the clockwise straight boundary (as used by Algorithm 1:
+        rotating the charger anticlockwise makes devices *fall out* across
+        this boundary)."""
+        return normalize_angle(self.orientation - self.half_angle)
+
+    def anticlockwise_boundary_angle(self) -> float:
+        """Bearing of the anticlockwise straight boundary."""
+        return normalize_angle(self.orientation + self.half_angle)
+
+    def boundary_points(self, *, arc_samples: int = 16) -> np.ndarray:
+        """Sample points along the full boundary (both arcs + radial edges)."""
+        thetas = self.orientation + np.linspace(-self.half_angle, self.half_angle, arc_samples)
+        cx, cy = self.center
+        outer = np.column_stack([cx + self.rmax * np.cos(thetas), cy + self.rmax * np.sin(thetas)])
+        pieces = [outer]
+        if self.rmin > EPS:
+            inner = np.column_stack([cx + self.rmin * np.cos(thetas), cy + self.rmin * np.sin(thetas)])
+            pieces.append(inner)
+        for a, b in self.radial_edges():
+            pieces.append(np.linspace(a, b, 4))
+        return np.vstack(pieces)
+
+    def area(self) -> float:
+        """Area of the sector ring."""
+        return self.half_angle * (self.rmax**2 - self.rmin**2)
+
+    # -- transforms ------------------------------------------------------
+
+    def rotated(self, dtheta: float) -> "SectorRing":
+        """Same ring rotated about its apex by *dtheta*."""
+        return SectorRing(self.center, self.orientation + dtheta, self.half_angle, self.rmin, self.rmax)
+
+    def direction(self) -> np.ndarray:
+        """Unit orientation vector (the paper's ``r_s`` / ``r_o``)."""
+        return unit_vector(self.orientation)

@@ -1,0 +1,173 @@
+"""Segment, ray and line intersection routines.
+
+All routines treat inputs as numpy-compatible ``(x, y)`` pairs and return
+plain numpy arrays.  Degenerate (collinear / parallel) configurations return
+``None`` or empty lists rather than raising; callers in the PDCS extraction
+only ever need *candidate* points, so dropping measure-zero degeneracies is
+harmless for the algorithm's guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .primitives import EPS, cross2
+
+__all__ = [
+    "segment_intersection",
+    "segments_intersect",
+    "segments_properly_intersect",
+    "line_intersection",
+    "line_segment_intersection",
+    "ray_segment_intersection",
+    "point_on_segment",
+    "point_segment_distance",
+    "segment_segment_distance",
+]
+
+
+def point_on_segment(p: Sequence[float], a: Sequence[float], b: Sequence[float], *, tol: float = EPS) -> bool:
+    """Whether *p* lies on the closed segment ``ab`` (within *tol*)."""
+    ab = (b[0] - a[0], b[1] - a[1])
+    ap = (p[0] - a[0], p[1] - a[1])
+    if abs(cross2(ab, ap)) > tol * max(1.0, abs(ab[0]) + abs(ab[1])):
+        return False
+    t = ap[0] * ab[0] + ap[1] * ab[1]
+    return -tol <= t <= ab[0] * ab[0] + ab[1] * ab[1] + tol
+
+
+def segment_intersection(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> np.ndarray | None:
+    """Intersection point of closed segments ``ab`` and ``cd``.
+
+    Returns ``None`` when they do not intersect or are parallel/collinear
+    (overlapping collinear segments are a measure-zero case the candidate
+    extraction does not need an interior point for).
+    """
+    r = (b[0] - a[0], b[1] - a[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denom = cross2(r, s)
+    if abs(denom) < EPS:
+        return None
+    ac = (c[0] - a[0], c[1] - a[1])
+    t = cross2(ac, s) / denom
+    u = cross2(ac, r) / denom
+    if -EPS <= t <= 1.0 + EPS and -EPS <= u <= 1.0 + EPS:
+        return np.array([a[0] + t * r[0], a[1] + t * r[1]])
+    return None
+
+
+def segments_intersect(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> bool:
+    """Whether closed segments ``ab`` and ``cd`` share at least one point.
+
+    Unlike :func:`segment_intersection`, collinear overlap is detected.
+    """
+    d1 = cross2((b[0] - a[0], b[1] - a[1]), (c[0] - a[0], c[1] - a[1]))
+    d2 = cross2((b[0] - a[0], b[1] - a[1]), (d[0] - a[0], d[1] - a[1]))
+    d3 = cross2((d[0] - c[0], d[1] - c[1]), (a[0] - c[0], a[1] - c[1]))
+    d4 = cross2((d[0] - c[0], d[1] - c[1]), (b[0] - c[0], b[1] - c[1]))
+    if ((d1 > EPS and d2 < -EPS) or (d1 < -EPS and d2 > EPS)) and (
+        (d3 > EPS and d4 < -EPS) or (d3 < -EPS and d4 > EPS)
+    ):
+        return True
+    if abs(d1) <= EPS and point_on_segment(c, a, b):
+        return True
+    if abs(d2) <= EPS and point_on_segment(d, a, b):
+        return True
+    if abs(d3) <= EPS and point_on_segment(a, c, d):
+        return True
+    if abs(d4) <= EPS and point_on_segment(b, c, d):
+        return True
+    return False
+
+
+def segments_properly_intersect(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> bool:
+    """Whether open segments ``ab`` and ``cd`` cross at a single interior point."""
+    d1 = cross2((b[0] - a[0], b[1] - a[1]), (c[0] - a[0], c[1] - a[1]))
+    d2 = cross2((b[0] - a[0], b[1] - a[1]), (d[0] - a[0], d[1] - a[1]))
+    d3 = cross2((d[0] - c[0], d[1] - c[1]), (a[0] - c[0], a[1] - c[1]))
+    d4 = cross2((d[0] - c[0], d[1] - c[1]), (b[0] - c[0], b[1] - c[1]))
+    return ((d1 > EPS and d2 < -EPS) or (d1 < -EPS and d2 > EPS)) and (
+        (d3 > EPS and d4 < -EPS) or (d3 < -EPS and d4 > EPS)
+    )
+
+
+def line_intersection(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> np.ndarray | None:
+    """Intersection of the infinite lines through ``ab`` and ``cd``."""
+    r = (b[0] - a[0], b[1] - a[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denom = cross2(r, s)
+    if abs(denom) < EPS:
+        return None
+    ac = (c[0] - a[0], c[1] - a[1])
+    t = cross2(ac, s) / denom
+    return np.array([a[0] + t * r[0], a[1] + t * r[1]])
+
+
+def line_segment_intersection(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> np.ndarray | None:
+    """Intersection of the infinite line through ``ab`` with segment ``cd``."""
+    r = (b[0] - a[0], b[1] - a[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denom = cross2(r, s)
+    if abs(denom) < EPS:
+        return None
+    ac = (c[0] - a[0], c[1] - a[1])
+    u = cross2(ac, r) / denom
+    if -EPS <= u <= 1.0 + EPS:
+        return np.array([c[0] + u * s[0], c[1] + u * s[1]])
+    return None
+
+
+def ray_segment_intersection(
+    origin: Sequence[float], direction: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> np.ndarray | None:
+    """Intersection of the ray ``origin + t*direction (t >= 0)`` with segment ``cd``."""
+    r = (direction[0], direction[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denom = cross2(r, s)
+    if abs(denom) < EPS:
+        return None
+    ac = (c[0] - origin[0], c[1] - origin[1])
+    t = cross2(ac, s) / denom
+    u = cross2(ac, r) / denom
+    if t >= -EPS and -EPS <= u <= 1.0 + EPS:
+        return np.array([origin[0] + t * r[0], origin[1] + t * r[1]])
+    return None
+
+
+def point_segment_distance(p: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float:
+    """Distance from point *p* to closed segment ``ab``."""
+    ab = (b[0] - a[0], b[1] - a[1])
+    ap = (p[0] - a[0], p[1] - a[1])
+    denom = ab[0] * ab[0] + ab[1] * ab[1]
+    if denom < EPS * EPS:
+        return float(np.hypot(ap[0], ap[1]))
+    t = max(0.0, min(1.0, (ap[0] * ab[0] + ap[1] * ab[1]) / denom))
+    dx = p[0] - (a[0] + t * ab[0])
+    dy = p[1] - (a[1] + t * ab[1])
+    return float(np.hypot(dx, dy))
+
+
+def segment_segment_distance(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float], d: Sequence[float]
+) -> float:
+    """Distance between closed segments ``ab`` and ``cd`` (0 if they intersect)."""
+    if segments_intersect(a, b, c, d):
+        return 0.0
+    return min(
+        point_segment_distance(a, c, d),
+        point_segment_distance(b, c, d),
+        point_segment_distance(c, a, b),
+        point_segment_distance(d, a, b),
+    )

@@ -1,0 +1,139 @@
+"""Line-of-sight and obstacle-shadow ("hole") computations.
+
+In the HIPO model an obstacle blocks charging power without reflection: a
+charger can power a device only if the open segment between them misses every
+obstacle (Eq. 1, condition ``s_i o_j ∩ h_k = ∅``).  The region of charger
+positions blinded by an obstacle with respect to a device is the device's
+*hole* (Fig. 2 of the paper).  Hole boundaries are rays from the device
+through obstacle vertices — those rays are part of the feasible-geometric-area
+boundary set used by the PDCS extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .polygon import Polygon
+from .primitives import EPS, distance
+
+__all__ = [
+    "line_of_sight",
+    "visible_mask",
+    "shadow_rays",
+    "obstacle_boundary_segments",
+]
+
+
+def line_of_sight(p: Sequence[float], q: Sequence[float], obstacles: Iterable[Polygon]) -> bool:
+    """Whether the segment ``pq`` avoids every obstacle."""
+    for h in obstacles:
+        if h.blocks_segment(p, q):
+            return False
+    return True
+
+
+def visible_mask(p: Sequence[float], targets: np.ndarray, obstacles: Sequence[Polygon]) -> np.ndarray:
+    """Boolean mask: which rows of *targets* have line of sight from *p*.
+
+    This is the hottest geometric kernel of the candidate extraction (one
+    call per candidate position), so the proper-crossing test against all
+    obstacle edges is a single ``(targets × edges)`` numpy broadcast per
+    obstacle, with a bounding-box prefilter.  Semantics match
+    :meth:`Polygon.blocks_segment`: a segment is blocked if it properly
+    crosses an edge or its midpoint lies strictly inside (degenerate
+    boundary-grazing midpoints use parity only — a measure-zero difference).
+    """
+    pts = np.asarray(targets, dtype=float)
+    n = len(pts)
+    mask = np.ones(n, dtype=bool)
+    if n == 0:
+        return mask
+    px, py = float(p[0]), float(p[1])
+    seg_xmin = np.minimum(pts[:, 0], px)
+    seg_xmax = np.maximum(pts[:, 0], px)
+    seg_ymin = np.minimum(pts[:, 1], py)
+    seg_ymax = np.maximum(pts[:, 1], py)
+    for h in obstacles:
+        xmin, ymin, xmax, ymax = h.bbox
+        near = (
+            (seg_xmax >= xmin - EPS)
+            & (seg_xmin <= xmax + EPS)
+            & (seg_ymax >= ymin - EPS)
+            & (seg_ymin <= ymax + EPS)
+            & mask
+        )
+        idx = np.nonzero(near)[0]
+        if idx.size == 0:
+            continue
+        sub = pts[idx]  # (m, 2)
+        c, d, s = h.edge_arrays()  # (E, 2) edge starts / ends / directions
+        r = sub - np.array([px, py])  # (m, 2) segment directions
+        cp = c - np.array([px, py])  # (E, 2)
+        dp = d - np.array([px, py])
+        # d1/d2: edge endpoints relative to the sight segment (m, E)
+        d1 = r[:, None, 0] * cp[None, :, 1] - r[:, None, 1] * cp[None, :, 0]
+        d2 = r[:, None, 0] * dp[None, :, 1] - r[:, None, 1] * dp[None, :, 0]
+        # d3/d4: segment endpoints relative to each edge (m, E)
+        pc = np.array([px, py]) - c  # (E, 2)
+        d3 = s[:, 0] * pc[:, 1] - s[:, 1] * pc[:, 0]  # (E,)
+        tc = sub[:, None, :] - c[None, :, :]  # (m, E, 2)
+        d4 = s[None, :, 0] * tc[:, :, 1] - s[None, :, 1] * tc[:, :, 0]
+        proper = (((d1 > EPS) & (d2 < -EPS)) | ((d1 < -EPS) & (d2 > EPS))) & (
+            ((d3[None, :] > EPS) & (d4 < -EPS)) | ((d3[None, :] < -EPS) & (d4 > EPS))
+        )
+        blocked = proper.any(axis=1)
+        # Grazing segments: blocked when the midpoint is inside (parity test).
+        free = np.nonzero(~blocked)[0]
+        if free.size:
+            mids = (sub[free] + np.array([px, py])) / 2.0
+            blocked[free] = _parity_inside(c, d, mids)
+        mask[idx[blocked]] = False
+    return mask
+
+
+def _parity_inside(c: np.ndarray, d: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Vectorized even-odd point-in-polygon over edges ``(c[k], d[k])``
+    (no boundary refinement)."""
+    x, y = pts[:, 0], pts[:, 1]
+    cond = (c[None, :, 1] > y[:, None]) != (d[None, :, 1] > y[:, None])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x_cross = (d[:, 0] - c[:, 0])[None, :] * (y[:, None] - c[None, :, 1]) / (
+            d[:, 1] - c[:, 1]
+        )[None, :] + c[None, :, 0]
+    crossing = cond & (x[:, None] < x_cross)
+    return crossing.sum(axis=1) % 2 == 1
+
+
+def shadow_rays(
+    device_pos: Sequence[float], obstacle: Polygon, rmax: float
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Hole boundary segments of *obstacle* w.r.t. a device at *device_pos*.
+
+    Following Lemma 4.4's construction, the device is connected with every
+    obstacle vertex and the connecting line is extended beyond the vertex up
+    to distance *rmax* from the device (the farthest boundary of the power
+    receiving area).  Each returned segment runs from the vertex to the
+    extension endpoint; together with the obstacle edges these bound the
+    holes.  Vertices farther than *rmax* from the device produce no ray.
+    """
+    ox, oy = float(device_pos[0]), float(device_pos[1])
+    rays: list[tuple[np.ndarray, np.ndarray]] = []
+    for v in obstacle.vertices:
+        d = distance(device_pos, v)
+        if d < EPS or d >= rmax - EPS:
+            continue
+        ux, uy = (v[0] - ox) / d, (v[1] - oy) / d
+        end = np.array([ox + rmax * ux, oy + rmax * uy])
+        rays.append((np.array([v[0], v[1]]), end))
+    return rays
+
+
+def obstacle_boundary_segments(obstacles: Iterable[Polygon]) -> list[tuple[np.ndarray, np.ndarray]]:
+    """All boundary edges of a collection of obstacles, flattened."""
+    segs: list[tuple[np.ndarray, np.ndarray]] = []
+    for h in obstacles:
+        segs.extend(h.edges())
+    return segs

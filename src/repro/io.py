@@ -1,0 +1,158 @@
+"""JSON (de)serialization of scenarios and placements.
+
+Makes instances portable: save a scenario (devices, obstacles, hardware
+tables, budgets) and a solved placement, reload them in another process or
+ship them between the CLI and the benchmarks.  Round-trips are exact up to
+float formatting (tested in ``tests/test_io.py``).
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "bounds": [xmin, ymin, xmax, ymax],
+      "charger_types": [{"name", "charging_angle", "dmin", "dmax"}, ...],
+      "device_types":  [{"name", "receiving_angle"}, ...],
+      "coefficients":  [{"charger", "device", "a", "b"}, ...],
+      "budgets":       {"type name": count, ...},
+      "devices":       [{"position", "orientation", "type", "threshold"}, ...],
+      "obstacles":     [[[x, y], ...], ...],
+      "strategies":    [{"position", "orientation", "type"}, ...]   # optional
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .geometry import Polygon
+from .model import (
+    ChargerType,
+    CoefficientTable,
+    Device,
+    DeviceType,
+    PairCoefficients,
+    Scenario,
+    Strategy,
+)
+
+__all__ = [
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "strategies_to_list",
+    "strategies_from_list",
+    "save_scenario",
+    "load_scenario",
+]
+
+FORMAT_VERSION = 1
+
+
+def scenario_to_dict(scenario: Scenario, strategies: Sequence[Strategy] = ()) -> dict:
+    """Serialize a scenario (and optional placement) to plain JSON types."""
+    dtypes: dict[str, DeviceType] = {}
+    for d in scenario.devices:
+        dtypes[d.dtype.name] = d.dtype
+    coeffs = [
+        {"charger": c, "device": d, "a": pc.a, "b": pc.b}
+        for (c, d), pc in sorted(scenario.table.entries.items())
+    ]
+    out = {
+        "version": FORMAT_VERSION,
+        "bounds": list(scenario.bounds),
+        "charger_types": [
+            {
+                "name": ct.name,
+                "charging_angle": ct.charging_angle,
+                "dmin": ct.dmin,
+                "dmax": ct.dmax,
+            }
+            for ct in scenario.charger_types
+        ],
+        "device_types": [
+            {"name": dt.name, "receiving_angle": dt.receiving_angle}
+            for dt in sorted(dtypes.values(), key=lambda t: t.name)
+        ],
+        "coefficients": coeffs,
+        "budgets": dict(scenario.budgets),
+        "devices": [
+            {
+                "position": list(d.position),
+                "orientation": d.orientation,
+                "type": d.dtype.name,
+                "threshold": d.threshold,
+            }
+            for d in scenario.devices
+        ],
+        "obstacles": [[list(map(float, v)) for v in h.vertices] for h in scenario.obstacles],
+    }
+    if strategies:
+        out["strategies"] = strategies_to_list(strategies)
+    return out
+
+
+def scenario_from_dict(data: dict) -> tuple[Scenario, list[Strategy]]:
+    """Rebuild a scenario (and any stored placement) from JSON data."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format version {version!r}")
+    ctypes = {
+        c["name"]: ChargerType(c["name"], c["charging_angle"], c["dmin"], c["dmax"])
+        for c in data["charger_types"]
+    }
+    dtypes = {
+        d["name"]: DeviceType(d["name"], d["receiving_angle"]) for d in data["device_types"]
+    }
+    table = CoefficientTable(
+        {
+            (c["charger"], c["device"]): PairCoefficients(c["a"], c["b"])
+            for c in data["coefficients"]
+        }
+    )
+    devices = tuple(
+        Device(tuple(d["position"]), d["orientation"], dtypes[d["type"]], d["threshold"])
+        for d in data["devices"]
+    )
+    obstacles = tuple(Polygon(vs) for vs in data["obstacles"])
+    scenario = Scenario(
+        bounds=tuple(data["bounds"]),
+        devices=devices,
+        obstacles=obstacles,
+        charger_types=tuple(ctypes.values()),
+        budgets={k: int(v) for k, v in data["budgets"].items()},
+        table=table,
+    )
+    strategies = strategies_from_list(data.get("strategies", []), ctypes)
+    return scenario, strategies
+
+
+def strategies_to_list(strategies: Sequence[Strategy]) -> list[dict]:
+    """Serialize a placement."""
+    return [
+        {"position": list(s.position), "orientation": s.orientation, "type": s.ctype.name}
+        for s in strategies
+    ]
+
+
+def strategies_from_list(items: Sequence[dict], ctypes: dict[str, ChargerType]) -> list[Strategy]:
+    """Rebuild a placement against a charger-type catalogue."""
+    out = []
+    for item in items:
+        try:
+            ct = ctypes[item["type"]]
+        except KeyError:
+            raise ValueError(f"strategy references unknown charger type {item['type']!r}") from None
+        out.append(Strategy(tuple(item["position"]), item["orientation"], ct))
+    return out
+
+
+def save_scenario(path: str, scenario: Scenario, strategies: Sequence[Strategy] = ()) -> None:
+    """Write a scenario (and optional placement) to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(scenario_to_dict(scenario, strategies), f, indent=2)
+
+
+def load_scenario(path: str) -> tuple[Scenario, list[Strategy]]:
+    """Read a scenario (and any stored placement) from a JSON file."""
+    with open(path) as f:
+        return scenario_from_dict(json.load(f))

@@ -1,0 +1,33 @@
+"""Charging model substrate: types, entities, power law, utility, scenarios."""
+
+from .entities import Device, PlacedCharger, Strategy
+from .network import Scenario
+from .power import PowerEvaluator, pair_power
+from .types import ChargerType, CoefficientTable, DeviceType, PairCoefficients
+from .validation import Issue, ValidationReport, unreachable_devices, validate_scenario
+from .variants import classical_sector_variant, obstacle_free_variant, omnidirectional_variant
+from .utility import total_utility, utilities, utility, utility_from_strategies
+
+__all__ = [
+    "ChargerType",
+    "CoefficientTable",
+    "Device",
+    "Issue",
+    "DeviceType",
+    "PairCoefficients",
+    "PlacedCharger",
+    "PowerEvaluator",
+    "Scenario",
+    "Strategy",
+    "ValidationReport",
+    "classical_sector_variant",
+    "obstacle_free_variant",
+    "omnidirectional_variant",
+    "pair_power",
+    "total_utility",
+    "utilities",
+    "unreachable_devices",
+    "utility",
+    "utility_from_strategies",
+    "validate_scenario",
+]

@@ -1,0 +1,86 @@
+"""Concrete entities on the plane: devices, strategies, placed chargers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import SectorRing, normalize_angle, unit_vector
+from .types import ChargerType, DeviceType
+
+__all__ = ["Device", "Strategy", "PlacedCharger"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A rechargeable device ``o_j`` with fixed position and orientation.
+
+    ``threshold`` is the saturation power ``Pth_j`` of the charging utility
+    model (Eq. 3).
+    """
+
+    position: tuple[float, float]
+    orientation: float
+    dtype: DeviceType
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ValueError("power threshold must be positive")
+        object.__setattr__(self, "orientation", normalize_angle(self.orientation))
+        object.__setattr__(self, "position", (float(self.position[0]), float(self.position[1])))
+
+    def receiving_ring(self, charger_type: ChargerType) -> SectorRing:
+        """The device's power receiving area w.r.t. *charger_type*.
+
+        By the geometric symmetry argument of §3.1 the receiving area shares
+        the charger type's radial extent ``[dmin, dmax]`` and uses the
+        device's own aperture ``αo``.
+        """
+        return SectorRing(
+            self.position,
+            self.orientation,
+            self.dtype.half_angle,
+            charger_type.dmin,
+            charger_type.dmax,
+        )
+
+    def direction(self) -> np.ndarray:
+        """Unit orientation vector ``r_o``."""
+        return unit_vector(self.orientation)
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A charger placement decision: position + orientation for one type.
+
+    The paper calls the (position, orientation) combination a *strategy*
+    ``⟨s_i, φ_i⟩``.
+    """
+
+    position: tuple[float, float]
+    orientation: float
+    ctype: ChargerType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "orientation", normalize_angle(self.orientation))
+        object.__setattr__(self, "position", (float(self.position[0]), float(self.position[1])))
+
+    def charging_ring(self) -> SectorRing:
+        """The charging area produced by executing this strategy."""
+        return SectorRing(
+            self.position,
+            self.orientation,
+            self.ctype.half_angle,
+            self.ctype.dmin,
+            self.ctype.dmax,
+        )
+
+    def direction(self) -> np.ndarray:
+        """Unit orientation vector ``r_s``."""
+        return unit_vector(self.orientation)
+
+
+#: A charger, once placed, is fully described by its strategy.
+PlacedCharger = Strategy

@@ -1,0 +1,193 @@
+"""The practical directional charging model with obstacles (Eq. 1 and 2).
+
+A charger executing strategy ``⟨s, φs⟩`` delivers to device ``o`` (with
+orientation ``φo``) the power
+
+.. math::
+
+    P_w = \\frac{a}{(\\lVert so \\rVert + b)^2}
+
+iff all four conditions hold: the distance lies in ``[dmin, dmax]``, the
+device is inside the charger's cone (aperture ``αs``), the charger is inside
+the device's receiving cone (aperture ``αo``), and the segment ``so`` misses
+every obstacle.  Power from multiple chargers is additive (Eq. 2).
+
+:class:`PowerEvaluator` binds a scenario once and exposes vectorized kernels;
+this is the hot path of both the PDCS extraction and the greedy placement, so
+per-device constants are hoisted into flat numpy arrays and line-of-sight
+results are cached per charger position.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..geometry import EPS, TWO_PI, Polygon, visible_mask
+from .entities import Device, Strategy
+from .types import ChargerType, CoefficientTable
+
+__all__ = ["pair_power", "PowerEvaluator"]
+
+
+def pair_power(
+    strategy: Strategy,
+    device: Device,
+    obstacles: Sequence[Polygon],
+    table: CoefficientTable,
+) -> float:
+    """Exact charging power from one strategy to one device (Eq. 1).
+
+    Scalar reference implementation; the evaluator below is the fast path.
+    Kept deliberately simple so tests can cross-check the vectorized kernel
+    against it.
+    """
+    ct = strategy.ctype
+    sx, sy = strategy.position
+    ox, oy = device.position
+    d = math.hypot(ox - sx, oy - sy)
+    if d < ct.dmin - EPS or d > ct.dmax + EPS:
+        return 0.0
+    if d < EPS:
+        return 0.0
+    # Device inside charger cone.
+    bearing_so = math.atan2(oy - sy, ox - sx)
+    if _angdiff(bearing_so, strategy.orientation) > ct.half_angle + EPS:
+        return 0.0
+    # Charger inside device receiving cone.
+    bearing_os = math.atan2(sy - oy, sx - ox)
+    if _angdiff(bearing_os, device.orientation) > device.dtype.half_angle + EPS:
+        return 0.0
+    for h in obstacles:
+        if h.blocks_segment(strategy.position, device.position):
+            return 0.0
+    coeff = table.get(ct, device.dtype)
+    return coeff.a / (d + coeff.b) ** 2
+
+
+def _angdiff(a: float, b: float) -> float:
+    d = math.fmod(a - b, TWO_PI)
+    if d > math.pi:
+        d -= TWO_PI
+    elif d < -math.pi:
+        d += TWO_PI
+    return abs(d)
+
+
+class PowerEvaluator:
+    """Vectorized power computation bound to a fixed device/obstacle layout.
+
+    Parameters
+    ----------
+    devices:
+        The rechargeable devices ``o_1..o_No``.
+    obstacles:
+        Polygonal obstacles.
+    table:
+        Pairwise ``(a, b)`` coefficients.
+    charger_types:
+        Charger types that will be queried; per-type coefficient vectors are
+        precomputed for these.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        obstacles: Sequence[Polygon],
+        table: CoefficientTable,
+        charger_types: Iterable[ChargerType],
+    ):
+        self.devices = list(devices)
+        self.obstacles = list(obstacles)
+        self.table = table
+        n = len(self.devices)
+        self.positions = np.array([d.position for d in self.devices], dtype=float).reshape(n, 2)
+        self.orientations = np.array([d.orientation for d in self.devices], dtype=float)
+        self.half_angles = np.array([d.dtype.half_angle for d in self.devices], dtype=float)
+        self.thresholds = np.array([d.threshold for d in self.devices], dtype=float)
+        self._per_type: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for ct in charger_types:
+            a = np.array([table.get(ct, d.dtype).a for d in self.devices], dtype=float)
+            b = np.array([table.get(ct, d.dtype).b for d in self.devices], dtype=float)
+            self._per_type[ct.name] = (a, b)
+        self._types = {ct.name: ct for ct in charger_types}
+        self._los_cache: dict[tuple[float, float], np.ndarray] = {}
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def coefficients(self, ctype: ChargerType) -> tuple[np.ndarray, np.ndarray]:
+        """Per-device ``(a, b)`` coefficient vectors for *ctype*."""
+        if ctype.name not in self._per_type:
+            a = np.array([self.table.get(ctype, d.dtype).a for d in self.devices], dtype=float)
+            b = np.array([self.table.get(ctype, d.dtype).b for d in self.devices], dtype=float)
+            self._per_type[ctype.name] = (a, b)
+            self._types[ctype.name] = ctype
+        return self._per_type[ctype.name]
+
+    def los_mask(self, position: Sequence[float]) -> np.ndarray:
+        """Line-of-sight mask from *position* to every device (cached)."""
+        key = (round(float(position[0]), 9), round(float(position[1]), 9))
+        mask = self._los_cache.get(key)
+        if mask is None:
+            mask = visible_mask(position, self.positions, self.obstacles)
+            self._los_cache[key] = mask
+        return mask
+
+    def clear_cache(self) -> None:
+        """Drop the line-of-sight cache (e.g. between sweep repetitions)."""
+        self._los_cache.clear()
+
+    def coverable(self, ctype: ChargerType, position: Sequence[float]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Orientation-independent coverability from *position* for *ctype*.
+
+        Returns ``(mask, dists, bearings)`` where ``mask[j]`` is True iff
+        device *j* satisfies every condition of Eq. (1) except the charger
+        cone test (ring distance, device receiving cone, line of sight), and
+        ``bearings[j]`` is the charger→device bearing.  Algorithm 1's
+        rotational sweep then only has to intersect ``bearings`` with the
+        charger cone.
+        """
+        pos = np.asarray(position, dtype=float)
+        delta = self.positions - pos
+        dists = np.hypot(delta[:, 0], delta[:, 1])
+        bearings = np.mod(np.arctan2(delta[:, 1], delta[:, 0]), TWO_PI)
+        mask = (dists >= ctype.dmin - EPS) & (dists <= ctype.dmax + EPS) & (dists >= EPS)
+        if mask.any():
+            # charger inside the device receiving cone: bearing device→charger
+            rev = np.mod(bearings + math.pi, TWO_PI)
+            diff = np.abs(np.mod(rev - self.orientations + math.pi, TWO_PI) - math.pi)
+            mask &= diff <= self.half_angles + EPS
+        if mask.any() and self.obstacles:
+            mask &= self.los_mask(pos)
+        return mask, dists, bearings
+
+    def power_vector(self, strategy: Strategy, *, distances: np.ndarray | None = None) -> np.ndarray:
+        """Exact power delivered by *strategy* to every device (length ``No``)."""
+        mask, dists, bearings = self.coverable(strategy.ctype, strategy.position)
+        if mask.any():
+            diff = np.abs(np.mod(bearings - strategy.orientation + math.pi, TWO_PI) - math.pi)
+            mask = mask & (diff <= strategy.ctype.half_angle + EPS)
+        out = np.zeros(self.num_devices)
+        if mask.any():
+            a, b = self.coefficients(strategy.ctype)
+            d = dists if distances is None else distances
+            out[mask] = a[mask] / (d[mask] + b[mask]) ** 2
+        return out
+
+    def power_matrix(self, strategies: Sequence[Strategy]) -> np.ndarray:
+        """Exact power matrix ``P[i, j]`` = power of strategy *i* to device *j*."""
+        out = np.zeros((len(strategies), self.num_devices))
+        for i, s in enumerate(strategies):
+            out[i] = self.power_vector(s)
+        return out
+
+    def total_power(self, strategies: Sequence[Strategy]) -> np.ndarray:
+        """Additive received power per device (Eq. 2)."""
+        total = np.zeros(self.num_devices)
+        for s in strategies:
+            total += self.power_vector(s)
+        return total

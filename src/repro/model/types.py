@@ -1,0 +1,126 @@
+"""Hardware type descriptions for heterogeneous chargers and devices.
+
+The paper's heterogeneity enters through three tables (Tables 2–4):
+
+* each **charger type** has an aperture ``αs`` and a radial charging extent
+  ``[dmin, dmax]``,
+* each **device type** has a receiving aperture ``αo``,
+* each *(charger type, device type)* **pair** has empirical coefficients
+  ``(a, b)`` of the power law ``P(d) = a / (d + b)^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ChargerType", "DeviceType", "PairCoefficients", "CoefficientTable"]
+
+
+@dataclass(frozen=True)
+class ChargerType:
+    """A class of wireless chargers (Table 2 row).
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"type-1"``.
+    charging_angle:
+        Full aperture ``αs`` of the charging sector ring, radians.
+    dmin, dmax:
+        Nearest / farthest charging distances of the sector-ring model.
+    """
+
+    name: str
+    charging_angle: float
+    dmin: float
+    dmax: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.charging_angle <= 2.0 * math.pi + 1e-12):
+            raise ValueError(f"charging angle must be in (0, 2*pi], got {self.charging_angle}")
+        if self.dmin < 0.0 or self.dmax <= self.dmin:
+            raise ValueError(f"need 0 <= dmin < dmax, got [{self.dmin}, {self.dmax}]")
+
+    @property
+    def half_angle(self) -> float:
+        """Half aperture ``αs / 2``."""
+        return self.charging_angle / 2.0
+
+    def scaled(self, *, angle: float = 1.0, dmin: float = 1.0, dmax: float = 1.0) -> "ChargerType":
+        """A copy with aperture / radii multiplied by the given factors.
+
+        Used by the Fig. 11(c)/(f) and Fig. 14 sensitivity sweeps.  Scaled
+        apertures are clamped to ``2*pi``; ``dmin`` is clamped below ``dmax``.
+        """
+        new_dmax = self.dmax * dmax
+        new_dmin = min(self.dmin * dmin, new_dmax * 0.999)
+        return replace(
+            self,
+            charging_angle=min(self.charging_angle * angle, 2.0 * math.pi),
+            dmin=new_dmin,
+            dmax=new_dmax,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceType:
+    """A class of rechargeable devices (Table 3 row)."""
+
+    name: str
+    receiving_angle: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.receiving_angle <= 2.0 * math.pi + 1e-12):
+            raise ValueError(f"receiving angle must be in (0, 2*pi], got {self.receiving_angle}")
+
+    @property
+    def half_angle(self) -> float:
+        """Half aperture ``αo / 2``."""
+        return self.receiving_angle / 2.0
+
+    def scaled(self, *, angle: float = 1.0) -> "DeviceType":
+        """A copy with the receiving aperture multiplied by *angle* (clamped to ``2*pi``)."""
+        return replace(self, receiving_angle=min(self.receiving_angle * angle, 2.0 * math.pi))
+
+
+@dataclass(frozen=True)
+class PairCoefficients:
+    """Empirical power-law coefficients for one (charger type, device type) pair."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.a <= 0.0 or self.b < 0.0:
+            raise ValueError(f"need a > 0 and b >= 0, got a={self.a}, b={self.b}")
+
+    def power_at(self, d: float) -> float:
+        """Unconstrained power law ``a / (d + b)^2`` at distance *d*."""
+        return self.a / (d + self.b) ** 2
+
+
+@dataclass(frozen=True)
+class CoefficientTable:
+    """The full (charger type × device type) coefficient matrix (Table 4)."""
+
+    entries: dict[tuple[str, str], PairCoefficients] = field(default_factory=dict)
+
+    def get(self, charger: ChargerType | str, device: DeviceType | str) -> PairCoefficients:
+        """Look up the ``(a, b)`` pair for a charger/device type combination."""
+        cname = charger if isinstance(charger, str) else charger.name
+        dname = device if isinstance(device, str) else device.name
+        try:
+            return self.entries[(cname, dname)]
+        except KeyError:
+            raise KeyError(f"no coefficients for charger {cname!r} x device {dname!r}") from None
+
+    def with_entry(
+        self, charger: ChargerType | str, device: DeviceType | str, coeff: PairCoefficients
+    ) -> "CoefficientTable":
+        """A copy of the table with one entry replaced (functional update)."""
+        cname = charger if isinstance(charger, str) else charger.name
+        dname = device if isinstance(device, str) else device.name
+        entries = dict(self.entries)
+        entries[(cname, dname)] = coeff
+        return CoefficientTable(entries)

@@ -1,0 +1,47 @@
+"""Charging utility model (Eq. 3 and the objective of Eq. 4).
+
+Each device saturates at its power threshold ``Pth``:
+
+.. math:: U_j(x) = \\min(1, x / Pth_j)
+
+and the HIPO objective is the uniformly weighted average utility
+``(1/No) Σ_j U_j(P_j)``.  ``U_j`` is concave and non-decreasing, which is what
+makes the discretized objective a monotone submodular set function
+(Lemma 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["utility", "utilities", "total_utility", "utility_from_strategies"]
+
+
+def utility(power: float, threshold: float) -> float:
+    """Single-device charging utility ``min(1, power / threshold)``."""
+    if threshold <= 0.0:
+        raise ValueError("threshold must be positive")
+    if power <= 0.0:
+        return 0.0
+    return min(1.0, power / threshold)
+
+
+def utilities(powers: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Vectorized per-device utilities."""
+    p = np.asarray(powers, dtype=float)
+    t = np.asarray(thresholds, dtype=float)
+    return np.minimum(1.0, np.maximum(p, 0.0) / t)
+
+
+def total_utility(powers: np.ndarray, thresholds: np.ndarray) -> float:
+    """Normalized total utility ``(1/No) Σ_j min(1, P_j / Pth_j)``."""
+    u = utilities(powers, thresholds)
+    return float(u.mean()) if u.size else 0.0
+
+
+def utility_from_strategies(evaluator, strategies: Sequence) -> float:
+    """Objective value of a strategy set under *evaluator* (exact powers)."""
+    powers = evaluator.total_power(strategies)
+    return total_utility(powers, evaluator.thresholds)

@@ -1,0 +1,60 @@
+"""Charging-model variants from the related-work taxonomy (§2).
+
+The paper positions its *practical sector-ring* model against two simpler
+models used by prior work:
+
+* the **omnidirectional** model — charging and receiving areas are disks
+  (e.g. [5]–[15]),
+* the **classical directional (sector)** model — sectors with no near-field
+  keep-out, i.e. ``dmin = 0`` (Dai et al. [2], [3]).
+
+These reductions let us quantify the paper's motivation: a placement
+optimized under a simpler model and *evaluated* under the practical model
+loses utility (``bench_ablation_model``), because devices inside the
+keep-out or behind obstacles receive nothing in reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from .network import Scenario
+from .types import ChargerType, DeviceType
+
+__all__ = ["omnidirectional_variant", "classical_sector_variant", "obstacle_free_variant"]
+
+TWO_PI = 2.0 * math.pi
+
+
+def classical_sector_variant(scenario: Scenario) -> Scenario:
+    """The traditional directional model: same sectors, no keep-out ring."""
+    new_types = tuple(
+        ChargerType(ct.name, ct.charging_angle, 0.0, ct.dmax) for ct in scenario.charger_types
+    )
+    return scenario.with_charger_types(new_types, scenario.budgets)
+
+
+def omnidirectional_variant(scenario: Scenario) -> Scenario:
+    """The omnidirectional model: disk charging and receiving areas.
+
+    Charger apertures and device receiving apertures become full circles;
+    radial extents (and obstacles) are kept so the comparison isolates the
+    directionality assumption.
+    """
+    new_ctypes = tuple(
+        ChargerType(ct.name, TWO_PI, ct.dmin, ct.dmax) for ct in scenario.charger_types
+    )
+    dtype_cache: dict[str, DeviceType] = {}
+    new_devices = []
+    for d in scenario.devices:
+        dt = dtype_cache.setdefault(d.dtype.name, DeviceType(d.dtype.name, TWO_PI))
+        new_devices.append(replace(d, dtype=dt))
+    sc = scenario.with_charger_types(new_ctypes, scenario.budgets)
+    return sc.with_devices(new_devices)
+
+
+def obstacle_free_variant(scenario: Scenario) -> Scenario:
+    """The same instance with obstacles removed (prior placement work
+    assumes free space)."""
+    return replace(scenario, obstacles=(), _evaluator_cache=[])

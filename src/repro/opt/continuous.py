@@ -1,0 +1,112 @@
+"""Continuous greedy + rounding for partition matroids (the paper's [39]).
+
+Theorem 4.2's remark: the ``1/2`` greedy ratio can be lifted to ``1 − 1/e``
+by the continuous greedy / pipage framework of Calinescu–Chekuri–Pál–Vondrák,
+"which is, however, too computationally demanding to use in practice".  We
+implement a practical sampled variant so that the trade-off can actually be
+measured (``bench_ablation_continuous``):
+
+* the multilinear extension ``F(x) = E[f(R_x)]`` is estimated by Monte-Carlo
+  sampling of random sets ``R_x`` (include *i* with probability ``x_i``);
+* each of ``T`` steps moves ``x`` by ``1/T`` along the feasible direction
+  maximizing the sampled marginal-gain vector within the matroid polytope
+  (for a partition matroid: per part, the top-``cap`` coordinates);
+* the fractional solution is rounded per part without loss in expectation
+  (independent rounding per part followed by picking the best of a few
+  samples — for partition matroids each part's constraint is a simple
+  cardinality cap, so sampled rounding is easy to repair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matroid import PartitionMatroid
+from .submodular import AdditivePowerObjective
+
+__all__ = ["ContinuousGreedyResult", "continuous_greedy"]
+
+
+@dataclass
+class ContinuousGreedyResult:
+    """Rounded solution, its value, the fractional point and the oracle cost."""
+
+    indices: list[int]
+    value: float
+    fractional: np.ndarray
+    evaluations: int
+
+
+def _parts(matroid: PartitionMatroid) -> list[np.ndarray]:
+    part_arr = np.asarray(matroid.part_of)
+    return [np.nonzero(part_arr == q)[0] for q in range(matroid.num_parts)]
+
+
+def continuous_greedy(
+    objective: AdditivePowerObjective,
+    matroid: PartitionMatroid,
+    rng: np.random.Generator,
+    *,
+    steps: int = 20,
+    samples: int = 8,
+    rounding_trials: int = 16,
+) -> ContinuousGreedyResult:
+    """Sampled continuous greedy achieving ``≈ (1 − 1/e)`` in expectation.
+
+    ``steps × samples`` controls the gradient-estimate quality; the default
+    is deliberately modest — the point of the ablation is the cost/benefit
+    against the plain greedy, not squeezing the constant.
+    """
+    n = objective.num_candidates
+    if matroid.ground_size != n:
+        raise ValueError("matroid ground size must match number of candidates")
+    if n == 0:
+        return ContinuousGreedyResult([], 0.0, np.zeros(0), 0)
+    parts = _parts(matroid)
+    x = np.zeros(n)
+    evaluations = 0
+    for _ in range(steps):
+        # Estimate the marginal-gain vector at x: E[f(R + i) - f(R)].
+        gains = np.zeros(n)
+        for _s in range(samples):
+            r_mask = rng.random(n) < x
+            current = objective.P[r_mask].sum(axis=0) if r_mask.any() else np.zeros(objective.num_devices)
+            gains += objective.gains(current, np.arange(n))
+            evaluations += n
+        gains /= samples
+        # Best feasible direction: per part, the top-capacity coordinates.
+        direction = np.zeros(n)
+        for q, members in enumerate(parts):
+            cap = min(matroid.capacities[q], len(members))
+            if cap == 0:
+                continue
+            order = members[np.argsort(-gains[members], kind="stable")[:cap]]
+            positive = order[gains[order] > 0.0]
+            direction[positive] = 1.0
+        x = np.minimum(x + direction / steps, 1.0)
+
+    # Rounding: sample independent sets consistent with x, keep the best.
+    best: list[int] = []
+    best_val = -np.inf
+    for _t in range(rounding_trials):
+        chosen: list[int] = []
+        for q, members in enumerate(parts):
+            cap = min(matroid.capacities[q], len(members))
+            if cap == 0:
+                continue
+            xs = x[members]
+            drawn = members[rng.random(len(members)) < xs]
+            if len(drawn) > cap:  # repair: keep the highest-weight draws
+                drawn = drawn[np.argsort(-xs[np.searchsorted(members, drawn)])[:cap]]
+            elif len(drawn) < cap:  # top up with the largest remaining x
+                rest = np.setdiff1d(members, drawn)
+                extra = rest[np.argsort(-x[rest], kind="stable")[: cap - len(drawn)]]
+                drawn = np.concatenate([drawn, extra[x[extra] > 0.0]])
+            chosen.extend(int(e) for e in drawn)
+        val = objective.value(chosen)
+        evaluations += 1
+        if val > best_val:
+            best, best_val = chosen, val
+    return ContinuousGreedyResult(best, float(best_val), x, evaluations)

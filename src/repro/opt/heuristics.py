@@ -1,0 +1,219 @@
+"""Metaheuristics for the max-min fairness variant (§8.3).
+
+The paper notes that max-min charging utility admits no efficient
+approximation for the submodular formulation and suggests Simulated
+Annealing [50], Particle Swarm Optimization [48] and Ant Colony
+Optimization [49].  All three are implemented here over the *discrete*
+search space produced by PDCS extraction: a solution selects, per charger
+type (matroid part), at most the budgeted number of candidate strategies.
+
+All routines maximize a black-box ``objective(indices) -> float`` and take an
+explicit ``numpy.random.Generator`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "HeuristicResult",
+    "random_feasible_solution",
+    "simulated_annealing",
+    "particle_swarm",
+    "ant_colony",
+]
+
+Objective = Callable[[list[int]], float]
+
+
+@dataclass
+class HeuristicResult:
+    """Best solution found by a metaheuristic run."""
+
+    indices: list[int]
+    value: float
+    history: list[float]
+
+
+def _parts_index(part_of: Sequence[int], num_parts: int) -> list[np.ndarray]:
+    part_arr = np.asarray(part_of)
+    return [np.nonzero(part_arr == q)[0] for q in range(num_parts)]
+
+
+def random_feasible_solution(
+    rng: np.random.Generator, part_of: Sequence[int], capacities: Sequence[int]
+) -> list[int]:
+    """Uniformly random maximal independent set of the partition matroid."""
+    sol: list[int] = []
+    for q, members in enumerate(_parts_index(part_of, len(capacities))):
+        k = min(capacities[q], len(members))
+        if k > 0:
+            sol.extend(int(e) for e in rng.choice(members, size=k, replace=False))
+    return sol
+
+
+def _swap_neighbor(
+    rng: np.random.Generator,
+    sol: list[int],
+    parts: list[np.ndarray],
+    part_of: Sequence[int],
+) -> list[int]:
+    """Neighbour: replace one chosen strategy by an unchosen one of the same part."""
+    if not sol:
+        return sol
+    new = list(sol)
+    pos = int(rng.integers(len(new)))
+    q = part_of[new[pos]]
+    pool = [int(e) for e in parts[q] if e not in set(new)]
+    if not pool:
+        return new
+    new[pos] = pool[int(rng.integers(len(pool)))]
+    return new
+
+
+def simulated_annealing(
+    objective: Objective,
+    part_of: Sequence[int],
+    capacities: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    iterations: int = 2000,
+    t_start: float = 0.1,
+    t_end: float = 1e-4,
+    initial: list[int] | None = None,
+) -> HeuristicResult:
+    """Classical SA with geometric cooling over swap neighbourhoods."""
+    parts = _parts_index(part_of, len(capacities))
+    cur = list(initial) if initial is not None else random_feasible_solution(rng, part_of, capacities)
+    cur_val = objective(cur)
+    best, best_val = list(cur), cur_val
+    history = [best_val]
+    if iterations <= 0:
+        return HeuristicResult(best, best_val, history)
+    alpha = (t_end / t_start) ** (1.0 / iterations)
+    t = t_start
+    for _ in range(iterations):
+        cand = _swap_neighbor(rng, cur, parts, part_of)
+        val = objective(cand)
+        if val >= cur_val or rng.random() < math.exp((val - cur_val) / max(t, 1e-12)):
+            cur, cur_val = cand, val
+            if cur_val > best_val:
+                best, best_val = list(cur), cur_val
+        history.append(best_val)
+        t *= alpha
+    return HeuristicResult(best, best_val, history)
+
+
+def particle_swarm(
+    objective: Objective,
+    part_of: Sequence[int],
+    capacities: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    particles: int = 12,
+    iterations: int = 60,
+    w_personal: float = 0.35,
+    w_global: float = 0.35,
+) -> HeuristicResult:
+    """Discrete PSO: particles move by probabilistically adopting elements of
+    their personal / the global best (per matroid part), otherwise mutating.
+
+    A standard discretization of PSO for subset-selection problems; velocities
+    become adoption probabilities.
+    """
+    parts = _parts_index(part_of, len(capacities))
+    swarm = [random_feasible_solution(rng, part_of, capacities) for _ in range(particles)]
+    values = [objective(s) for s in swarm]
+    pbest = [list(s) for s in swarm]
+    pbest_val = list(values)
+    g = int(np.argmax(values))
+    gbest, gbest_val = list(swarm[g]), values[g]
+    history = [gbest_val]
+    for _ in range(iterations):
+        for i in range(particles):
+            new: list[int] = []
+            chosen: set[int] = set()
+            for q, members in enumerate(parts):
+                cap = min(capacities[q], len(members))
+                own = [e for e in swarm[i] if part_of[e] == q]
+                pb = [e for e in pbest[i] if part_of[e] == q]
+                gb = [e for e in gbest if part_of[e] == q]
+                slot_sources: list[int] = []
+                for slot in range(cap):
+                    r = rng.random()
+                    if r < w_global and slot < len(gb):
+                        pick = gb[slot]
+                    elif r < w_global + w_personal and slot < len(pb):
+                        pick = pb[slot]
+                    elif slot < len(own):
+                        pick = own[slot]
+                    else:
+                        pick = int(members[int(rng.integers(len(members)))])
+                    slot_sources.append(pick)
+                for pick in slot_sources:
+                    if pick in chosen:  # resolve collisions with a random member
+                        free = [int(e) for e in members if e not in chosen]
+                        if not free:
+                            continue
+                        pick = free[int(rng.integers(len(free)))]
+                    chosen.add(pick)
+                    new.append(pick)
+            val = objective(new)
+            swarm[i] = new
+            if val > pbest_val[i]:
+                pbest[i], pbest_val[i] = list(new), val
+                if val > gbest_val:
+                    gbest, gbest_val = list(new), val
+        history.append(gbest_val)
+    return HeuristicResult(gbest, gbest_val, history)
+
+
+def ant_colony(
+    objective: Objective,
+    part_of: Sequence[int],
+    capacities: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    ants: int = 10,
+    iterations: int = 40,
+    evaporation: float = 0.1,
+    deposit: float = 1.0,
+) -> HeuristicResult:
+    """Ant colony optimization with per-candidate pheromone trails.
+
+    Each ant samples, per part, candidates with probability proportional to
+    pheromone; the iteration-best ant reinforces its trail.
+    """
+    n = len(part_of)
+    parts = _parts_index(part_of, len(capacities))
+    pher = np.ones(n)
+    best: list[int] = []
+    best_val = -math.inf
+    history: list[float] = []
+    for _ in range(iterations):
+        iter_best: list[int] = []
+        iter_best_val = -math.inf
+        for _ant in range(ants):
+            sol: list[int] = []
+            for q, members in enumerate(parts):
+                k = min(capacities[q], len(members))
+                if k == 0:
+                    continue
+                w = pher[members]
+                probs = w / w.sum()
+                picks = rng.choice(members, size=k, replace=False, p=probs)
+                sol.extend(int(e) for e in picks)
+            val = objective(sol)
+            if val > iter_best_val:
+                iter_best, iter_best_val = sol, val
+        pher *= 1.0 - evaporation
+        if iter_best:
+            pher[iter_best] += deposit * (1.0 + max(iter_best_val, 0.0))
+        if iter_best_val > best_val:
+            best, best_val = list(iter_best), iter_best_val
+        history.append(best_val)
+    return HeuristicResult(best, best_val if best else 0.0, history)

@@ -1,0 +1,72 @@
+"""Swap local search refinement on top of the greedy (matroid-preserving).
+
+The classical post-processing for matroid-constrained submodular
+maximization: starting from a feasible solution (e.g. the Algorithm-3
+greedy output), repeatedly look for a *swap* — drop one chosen element,
+add one unchosen element of the same part — that strictly improves the
+objective.  Each accepted swap keeps the solution independent, the value
+is non-decreasing, and the loop terminates because the objective strictly
+increases by at least *min_gain* per step.  In practice this recovers a
+slice of the gap the 1/2-greedy leaves (``bench_ablation_local_search``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matroid import PartitionMatroid
+from .submodular import AdditivePowerObjective, GreedyResult
+
+__all__ = ["local_search_refine"]
+
+
+def local_search_refine(
+    objective: AdditivePowerObjective,
+    matroid: PartitionMatroid,
+    initial: list[int],
+    *,
+    max_rounds: int = 10,
+    min_gain: float = 1e-12,
+) -> GreedyResult:
+    """Improve *initial* by same-part swaps until no swap gains > *min_gain*.
+
+    Returns the refined solution; its value is never below the initial's.
+    """
+    if not matroid.is_independent(initial):
+        raise ValueError("initial solution is not independent in the matroid")
+    n = objective.num_candidates
+    part_of = np.asarray(matroid.part_of)
+    chosen = list(initial)
+    chosen_mask = np.zeros(n, dtype=bool)
+    chosen_mask[chosen] = True
+    current = objective.P[chosen].sum(axis=0) if chosen else np.zeros(objective.num_devices)
+    value = objective.value_of_powers(current)
+    evaluations = 0
+    gains_hist: list[float] = []
+
+    for _ in range(max_rounds):
+        improved = False
+        for pos in range(len(chosen)):
+            e = chosen[pos]
+            q = part_of[e]
+            pool = np.nonzero((part_of == q) & ~chosen_mask)[0]
+            if pool.size == 0:
+                continue
+            without = current - objective.P[e]
+            # Value of swapping e -> each candidate of the same part, one broadcast.
+            stacked = objective.device_utilities(without[None, :] + objective.P[pool])
+            vals = stacked.sum(axis=1) * objective.scale
+            evaluations += int(pool.size)
+            k = int(np.argmax(vals))
+            if vals[k] > value + min_gain:
+                newcomer = int(pool[k])
+                chosen_mask[e] = False
+                chosen_mask[newcomer] = True
+                chosen[pos] = newcomer
+                current = without + objective.P[newcomer]
+                gains_hist.append(float(vals[k] - value))
+                value = float(vals[k])
+                improved = True
+        if not improved:
+            break
+    return GreedyResult(chosen, value, gains_hist, evaluations)

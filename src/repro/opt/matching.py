@@ -1,0 +1,152 @@
+"""Bipartite matching substrate for the charger redeployment problem (§8.1).
+
+* :func:`hungarian` — Kuhn–Munkres assignment (minimum-cost perfect matching
+  on a square cost matrix) in O(n^3), the algorithm the paper cites
+  [43], [44] for minimizing overall switching overhead.
+* :func:`hopcroft_karp` — maximum cardinality bipartite matching, used as the
+  perfect-matching feasibility oracle in the min-max binary search (the
+  paper invokes Hall's theorem [45]; a perfect matching exists iff the
+  maximum matching saturates one side, which Hopcroft–Karp certifies in
+  O(E sqrt(V))).
+* :func:`has_perfect_matching` — that feasibility check for a boolean
+  adjacency matrix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["hungarian", "hopcroft_karp", "has_perfect_matching"]
+
+
+def hungarian(cost: np.ndarray) -> tuple[np.ndarray, float]:
+    """Minimum-cost perfect matching on square matrix *cost*.
+
+    Returns ``(assignment, total)`` where ``assignment[i]`` is the column
+    matched to row *i*.  Infinite entries encode forbidden pairs; if no
+    finite perfect matching exists the returned total is ``inf``.
+
+    Implementation: potentials + shortest augmenting path (the classical
+    O(n^3) formulation with 1-based sentinel column).
+    """
+    c = np.asarray(cost, dtype=float)
+    if c.ndim != 2 or c.shape[0] != c.shape[1]:
+        raise ValueError("hungarian requires a square cost matrix")
+    n = c.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=int), 0.0
+    INF = np.inf
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=int)  # p[j]: row matched to column j (1-based; 0 = none)
+    way = np.zeros(n + 1, dtype=int)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, INF)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = INF
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = c[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            if not np.isfinite(delta):
+                # No augmenting path with finite cost: no finite perfect matching.
+                return np.full(n, -1, dtype=int), float("inf")
+            for j in range(n + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    assignment = np.full(n, -1, dtype=int)
+    for j in range(1, n + 1):
+        if p[j] != 0:
+            assignment[p[j] - 1] = j - 1
+    total = float(sum(c[i, assignment[i]] for i in range(n)))
+    return assignment, total
+
+
+def hopcroft_karp(adjacency: np.ndarray) -> tuple[int, np.ndarray, np.ndarray]:
+    """Maximum bipartite matching on a boolean (rows × cols) adjacency matrix.
+
+    Returns ``(size, match_row, match_col)`` where ``match_row[i]`` is the
+    column matched to row *i* (or ``-1``) and vice versa.
+    """
+    adj = np.asarray(adjacency, dtype=bool)
+    n, m = adj.shape
+    neighbors = [np.nonzero(adj[i])[0].tolist() for i in range(n)]
+    match_row = np.full(n, -1, dtype=int)
+    match_col = np.full(m, -1, dtype=int)
+    INF = n + m + 1
+
+    def bfs() -> bool:
+        dist = np.full(n, INF, dtype=int)
+        q: deque[int] = deque()
+        for i in range(n):
+            if match_row[i] == -1:
+                dist[i] = 0
+                q.append(i)
+        found = False
+        while q:
+            i = q.popleft()
+            for j in neighbors[i]:
+                i2 = match_col[j]
+                if i2 == -1:
+                    found = True
+                elif dist[i2] == INF:
+                    dist[i2] = dist[i] + 1
+                    q.append(i2)
+        self_dist[:] = dist
+        return found
+
+    self_dist = np.full(n, INF, dtype=int)
+
+    def dfs(i: int) -> bool:
+        for j in neighbors[i]:
+            i2 = match_col[j]
+            if i2 == -1 or (self_dist[i2] == self_dist[i] + 1 and dfs(i2)):
+                match_row[i] = j
+                match_col[j] = i
+                return True
+        self_dist[i] = INF
+        return False
+
+    size = 0
+    while bfs():
+        for i in range(n):
+            if match_row[i] == -1 and dfs(i):
+                size += 1
+    return size, match_row, match_col
+
+
+def has_perfect_matching(adjacency: np.ndarray) -> bool:
+    """Whether the bipartite graph has a matching saturating all rows.
+
+    Equivalent to Hall's condition on the row side (Hall's theorem); checked
+    constructively via Hopcroft–Karp.
+    """
+    adj = np.asarray(adjacency, dtype=bool)
+    if adj.shape[0] > adj.shape[1]:
+        return False
+    size, _, _ = hopcroft_karp(adj)
+    return size == adj.shape[0]

@@ -1,0 +1,131 @@
+"""Obstacle-aware shortest paths via the visibility graph.
+
+The deployment-cost model of §8.2 charges travel distance for carrying
+chargers to their positions; with obstacles on the plane the carrier cannot
+drive through them, so Euclidean distance underestimates the true travel.
+The classical remedy is the *visibility graph*: nodes are the terminals plus
+all obstacle vertices, edges join mutually visible nodes weighted by
+Euclidean length; shortest paths in this graph are shortest obstacle-free
+paths in the plane (for polygonal obstacles).
+
+Built on :mod:`networkx` for the graph algorithms and on
+:mod:`repro.geometry` for the visibility predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..geometry import EPS, Polygon, line_of_sight
+
+__all__ = ["VisibilityGraph", "shortest_path_length", "path_length_matrix"]
+
+
+def _offset_vertices(obstacles: Sequence[Polygon], margin: float) -> list[tuple[float, float]]:
+    """Obstacle vertices pushed slightly outward so path corners clear the
+    boundary (grazing segments along edges are not 'blocked', but a small
+    margin keeps the geometry robust)."""
+    out: list[tuple[float, float]] = []
+    for h in obstacles:
+        centroid = h.centroid()
+        for v in h.vertices:
+            d = np.asarray(v, dtype=float) - centroid
+            norm = float(np.hypot(d[0], d[1]))
+            if norm < EPS:
+                out.append((float(v[0]), float(v[1])))
+            else:
+                p = np.asarray(v, dtype=float) + d / norm * margin
+                out.append((float(p[0]), float(p[1])))
+    return out
+
+
+class VisibilityGraph:
+    """Shortest obstacle-free paths between arbitrary points.
+
+    The obstacle-vertex skeleton is built once; terminals are connected on
+    demand per query (the standard two-point visibility-graph query).
+    """
+
+    def __init__(self, obstacles: Sequence[Polygon], *, margin: float = 1e-6):
+        self.obstacles = list(obstacles)
+        self._graph = nx.Graph()
+        self._vertices = _offset_vertices(self.obstacles, margin)
+        for i, p in enumerate(self._vertices):
+            self._graph.add_node(("v", i), pos=p)
+        for i in range(len(self._vertices)):
+            for j in range(i + 1, len(self._vertices)):
+                a, b = self._vertices[i], self._vertices[j]
+                if line_of_sight(a, b, self.obstacles):
+                    self._graph.add_edge(("v", i), ("v", j), weight=float(np.hypot(b[0] - a[0], b[1] - a[1])))
+
+    @property
+    def skeleton_size(self) -> tuple[int, int]:
+        """(nodes, edges) of the obstacle-vertex skeleton."""
+        return self._graph.number_of_nodes(), self._graph.number_of_edges()
+
+    def distance(self, a: Sequence[float], b: Sequence[float]) -> float:
+        """Length of the shortest obstacle-free path from *a* to *b*.
+
+        Returns ``inf`` when no path exists (a terminal sealed inside an
+        obstacle pocket).
+        """
+        a = (float(a[0]), float(a[1]))
+        b = (float(b[0]), float(b[1]))
+        if line_of_sight(a, b, self.obstacles):
+            return float(np.hypot(b[0] - a[0], b[1] - a[1]))
+        g = self._graph.copy()
+        for label, p in (("s", a), ("t", b)):
+            g.add_node(label, pos=p)
+            for i, v in enumerate(self._vertices):
+                if line_of_sight(p, v, self.obstacles):
+                    g.add_edge(label, ("v", i), weight=float(np.hypot(v[0] - p[0], v[1] - p[1])))
+        try:
+            return float(nx.shortest_path_length(g, "s", "t", weight="weight"))
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return float("inf")
+
+    def path(self, a: Sequence[float], b: Sequence[float]) -> list[tuple[float, float]]:
+        """The shortest obstacle-free polyline from *a* to *b* (inclusive)."""
+        a = (float(a[0]), float(a[1]))
+        b = (float(b[0]), float(b[1]))
+        if line_of_sight(a, b, self.obstacles):
+            return [a, b]
+        g = self._graph.copy()
+        for label, p in (("s", a), ("t", b)):
+            g.add_node(label, pos=p)
+            for i, v in enumerate(self._vertices):
+                if line_of_sight(p, v, self.obstacles):
+                    g.add_edge(label, ("v", i), weight=float(np.hypot(v[0] - p[0], v[1] - p[1])))
+        nodes = nx.shortest_path(g, "s", "t", weight="weight")
+        out = []
+        for n in nodes:
+            if n == "s":
+                out.append(a)
+            elif n == "t":
+                out.append(b)
+            else:
+                out.append(self._vertices[n[1]])
+        return out
+
+
+def shortest_path_length(
+    a: Sequence[float], b: Sequence[float], obstacles: Sequence[Polygon]
+) -> float:
+    """One-shot obstacle-aware distance (builds a throwaway graph)."""
+    return VisibilityGraph(obstacles).distance(a, b)
+
+
+def path_length_matrix(points: np.ndarray, obstacles: Sequence[Polygon]) -> np.ndarray:
+    """Pairwise obstacle-aware distance matrix for TSP-style planning."""
+    vg = VisibilityGraph(obstacles)
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = vg.distance(pts[i], pts[j])
+            out[i, j] = out[j, i] = d
+    return out

@@ -1,0 +1,64 @@
+"""Unit tests for the shared baseline machinery."""
+
+import math
+
+import numpy as np
+
+from repro.baselines import free_grid_points, greedy_select
+from repro.geometry import rectangle
+from repro.model import Strategy
+
+from conftest import simple_scenario
+
+
+def scenario(budget=2):
+    return simple_scenario([(5.0, 10.0), (15.0, 10.0)], budget=budget)
+
+
+def test_greedy_select_prefers_covering_strategies():
+    sc = scenario(budget=1)
+    ct = sc.charger_types[0]
+    good = Strategy((8.0, 10.0), math.pi, ct)  # points at device 0
+    useless = Strategy((10.0, 2.0), 3.0, ct)  # points at nothing
+    chosen = greedy_select(sc, {"ct": [useless, good]})
+    assert len(chosen) == 1
+    assert chosen[0] == good
+
+
+def test_greedy_select_pads_to_budget_with_zero_gain_pool():
+    """Budgets are always spent even when extra candidates add nothing."""
+    sc = scenario(budget=3)
+    ct = sc.charger_types[0]
+    good = Strategy((8.0, 10.0), math.pi, ct)
+    dud1 = Strategy((10.0, 2.0), 3.0, ct)
+    dud2 = Strategy((2.0, 2.0), 3.0, ct)
+    chosen = greedy_select(sc, {"ct": [good, dud1, dud2]})
+    assert len(chosen) == 3
+    assert good in chosen
+
+
+def test_greedy_select_smaller_pool_than_budget():
+    sc = scenario(budget=5)
+    ct = sc.charger_types[0]
+    pool = [Strategy((8.0, 10.0), math.pi, ct)]
+    chosen = greedy_select(sc, {"ct": pool})
+    assert len(chosen) == 1  # cannot invent chargers
+
+
+def test_greedy_select_empty_pool():
+    sc = scenario()
+    assert greedy_select(sc, {"ct": []}) == []
+    assert greedy_select(sc, {}) == []
+
+
+def test_free_grid_points_filters():
+    sc = simple_scenario([(5.0, 10.0)], obstacles=[rectangle(8.0, 8.0, 12.0, 12.0)])
+    pts = np.array([[10.0, 10.0], [1.0, 1.0], [25.0, 1.0]])
+    out = free_grid_points(sc, pts)
+    assert len(out) == 1
+    assert np.allclose(out[0], [1.0, 1.0])
+
+
+def test_free_grid_points_empty():
+    sc = scenario()
+    assert free_grid_points(sc, np.zeros((0, 2))).shape == (0, 2)

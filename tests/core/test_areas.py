@@ -1,0 +1,110 @@
+"""Tests for the feasible-geometric-area signature index (§4.1.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import INFEASIBLE, FeasibleAreaIndex
+from repro.geometry import polar_offset, rectangle
+
+from conftest import simple_scenario
+
+
+def index_for(sc, **kw):
+    return FeasibleAreaIndex(sc, **kw)
+
+
+def test_signature_infeasible_everywhere_far_away():
+    sc = simple_scenario([(10.0, 10.0)], dmax=3.0)
+    idx = index_for(sc)
+    ct = sc.charger_types[0]
+    assert idx.signature(ct, (0.0, 0.0)) == (INFEASIBLE,)
+
+
+def test_signature_levels_increase_with_distance():
+    sc = simple_scenario([(10.0, 10.0)], dmin=1.0, dmax=6.0, device_angle=2 * math.pi)
+    idx = index_for(sc)
+    ct = sc.charger_types[0]
+    near = idx.signature(ct, (11.5, 10.0))[0]
+    far = idx.signature(ct, (15.5, 10.0))[0]
+    assert near != INFEASIBLE and far != INFEASIBLE
+    assert far > near
+
+
+def test_signature_respects_device_cone():
+    # Device faces east; a charger to its west is outside the receiving cone.
+    sc = simple_scenario(
+        [(10.0, 10.0)], device_orientations=[0.0], device_angle=math.pi / 2
+    )
+    idx = index_for(sc)
+    ct = sc.charger_types[0]
+    assert idx.signature(ct, (13.0, 10.0))[0] != INFEASIBLE  # east: inside cone
+    assert idx.signature(ct, (7.0, 10.0))[0] == INFEASIBLE  # west: outside
+
+
+def test_signature_respects_obstacle_shadow():
+    sc = simple_scenario(
+        [(10.0, 10.0)],
+        device_angle=2 * math.pi,
+        obstacles=[rectangle(11.0, 9.5, 12.0, 10.5)],
+    )
+    idx = index_for(sc)
+    ct = sc.charger_types[0]
+    assert idx.signature(ct, (14.0, 10.0))[0] == INFEASIBLE  # shadowed
+    assert idx.signature(ct, (10.0, 14.0))[0] != INFEASIBLE  # clear to the north
+
+
+def test_constant_power_within_signature():
+    sc = simple_scenario([(10.0, 10.0)], device_angle=2 * math.pi)
+    idx = index_for(sc)
+    ct = sc.charger_types[0]
+    # Two points in the same distance bin at different bearings share the
+    # signature; the approximated power vectors agree.
+    p1 = polar_offset((10.0, 10.0), 0.3, 3.0)
+    p2 = polar_offset((10.0, 10.0), 2.1, 3.0)
+    assert idx.constant_power_within_signature(ct, p1, p2)
+    sig = idx.signature(ct, p1)
+    power = idx.approx_power_of_signature(ct, sig)
+    assert power[0] > 0
+    assert np.allclose(power, idx.approx_power_of_signature(ct, idx.signature(ct, p2)))
+
+
+def test_approx_power_of_infeasible_signature_zero():
+    sc = simple_scenario([(10.0, 10.0)])
+    idx = index_for(sc)
+    ct = sc.charger_types[0]
+    assert idx.approx_power_of_signature(ct, (INFEASIBLE,)).sum() == 0.0
+
+
+def test_count_areas_scales_with_devices():
+    one = simple_scenario([(10.0, 10.0)], device_angle=2 * math.pi)
+    three = simple_scenario(
+        [(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], device_angle=2 * math.pi
+    )
+    ct = one.charger_types[0]
+    c1 = index_for(one).count_areas(ct, resolution=40)
+    c3 = index_for(three).count_areas(ct, resolution=40)
+    assert c3.distinct_signatures > c1.distinct_signatures
+    assert c1.samples > 0 and c3.samples > 0
+
+
+def test_count_areas_under_lemma44_bound():
+    """Lemma 4.4 (up to constants): empirical area count stays below the
+    O(No^2 eps1^-2 Nh^2 c^2) expression."""
+    sc = simple_scenario(
+        [(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)],
+        obstacles=[rectangle(9.0, 6.0, 11.0, 8.0)],
+        device_angle=2 * math.pi,
+    )
+    idx = index_for(sc)
+    count = idx.count_areas(sc.charger_types[0], resolution=48)
+    assert count.distinct_signatures <= count.lemma44_bound
+
+
+def test_finer_eps_more_areas():
+    sc = simple_scenario([(8.0, 10.0), (12.0, 10.0)], device_angle=2 * math.pi)
+    ct = sc.charger_types[0]
+    coarse = index_for(sc, eps=0.3).count_areas(ct, resolution=40).distinct_signatures
+    fine = index_for(sc, eps=0.05).count_areas(ct, resolution=40).distinct_signatures
+    assert fine > coarse

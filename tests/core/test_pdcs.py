@@ -1,0 +1,130 @@
+"""Tests for PDCS extraction at a point (Algorithm 1)."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import extract_pdcs_at_point, filter_dominated_sets, strategies_at_point
+from repro.model import ChargerType, Device, DeviceType, PowerEvaluator, Strategy, pair_power
+
+from conftest import make_table
+
+DT = DeviceType("dt", 2.0 * math.pi)  # omnidirectional receivers for clarity
+
+
+def evaluator(device_positions, *, angle=math.pi / 2, dmin=1.0, dmax=6.0, obstacles=()):
+    ct = ChargerType("ct", angle, dmin, dmax)
+    devices = [Device(tuple(p), 0.0, DT, 0.1) for p in device_positions]
+    table = make_table([ct], [DT])
+    return PowerEvaluator(devices, list(obstacles), table, [ct]), ct
+
+
+def covered_set(ev, ct, strategy):
+    return frozenset(int(j) for j in np.nonzero(ev.power_vector(strategy))[0])
+
+
+def test_filter_dominated_sets():
+    items = [
+        (0.0, frozenset({1})),
+        (1.0, frozenset({1, 2})),
+        (2.0, frozenset({3})),
+        (3.0, frozenset({1, 2})),  # duplicate, keeps first
+    ]
+    kept = filter_dominated_sets(items)
+    sets = {s for _t, s in kept}
+    assert sets == {frozenset({1, 2}), frozenset({3})}
+    assert len(kept) == 2
+
+
+def test_no_coverable_devices():
+    ev, ct = evaluator([(20.0, 20.0)])
+    assert extract_pdcs_at_point(ev, ct, (0.0, 0.0)) == []
+
+
+def test_single_device_single_pdcs():
+    ev, ct = evaluator([(3.0, 0.0)])
+    out = extract_pdcs_at_point(ev, ct, (0.0, 0.0))
+    assert len(out) == 1
+    assert out[0].covered == (0,)
+    # The witness orientation actually covers the device.
+    s = Strategy((0.0, 0.0), out[0].orientation, ct)
+    assert ev.power_vector(s)[0] > 0.0
+
+
+def test_opposite_devices_narrow_cone_two_pdcs():
+    ev, ct = evaluator([(3.0, 0.0), (-3.0, 0.0)], angle=math.pi / 2)
+    out = extract_pdcs_at_point(ev, ct, (0.0, 0.0))
+    sets = {ps.covered for ps in out}
+    assert sets == {(0,), (1,)}
+
+
+def test_close_devices_single_covering_pdcs():
+    ev, ct = evaluator([(3.0, 0.5), (3.0, -0.5)], angle=math.pi / 2)
+    out = extract_pdcs_at_point(ev, ct, (0.0, 0.0))
+    assert len(out) == 1
+    assert out[0].covered == (0, 1)
+
+
+def test_omnidirectional_charger_single_strategy():
+    ev, ct = evaluator([(3.0, 0.0), (-3.0, 0.0), (0.0, 3.0)], angle=2.0 * math.pi)
+    out = extract_pdcs_at_point(ev, ct, (0.0, 0.0))
+    assert len(out) == 1
+    assert out[0].covered == (0, 1, 2)
+
+
+def test_extracted_sets_are_mutually_nondominated():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        pts = rng.uniform(-6, 6, size=(6, 2))
+        ev, ct = evaluator(pts, angle=math.pi / 3)
+        out = extract_pdcs_at_point(ev, ct, (0.0, 0.0))
+        sets = [frozenset(ps.covered) for ps in out]
+        for i, a in enumerate(sets):
+            for k, b in enumerate(sets):
+                assert not (i != k and a < b), "dominated set survived the filter"
+
+
+def test_witness_orientation_covers_reported_set_exactly():
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        pts = rng.uniform(-6, 6, size=(5, 2))
+        ev, ct = evaluator(pts, angle=math.pi / 3)
+        for ps in extract_pdcs_at_point(ev, ct, (0.0, 0.0)):
+            s = Strategy((0.0, 0.0), ps.orientation, ct)
+            assert covered_set(ev, ct, s) == frozenset(ps.covered)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.floats(min_value=0.3, max_value=3.0))
+def test_algorithm1_dominates_every_orientation(seed, angle):
+    """Theorem-4.1 restricted to a point: for ANY orientation there is an
+    extracted PDCS that dominates or equals its covered set."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-6, 6, size=(5, 2))
+    ev, ct = evaluator(pts, angle=angle)
+    extracted = [frozenset(ps.covered) for ps in extract_pdcs_at_point(ev, ct, (0.0, 0.0))]
+    for theta in rng.uniform(0, 2 * math.pi, size=12):
+        s = Strategy((0.0, 0.0), float(theta), ct)
+        cov = covered_set(ev, ct, s)
+        if not cov:
+            continue
+        assert any(cov <= e for e in extracted), (cov, extracted)
+
+
+def test_obstacle_excludes_devices_from_sweep():
+    from repro.geometry import rectangle
+
+    obs = [rectangle(1.0, -0.5, 2.0, 0.5)]
+    ev, ct = evaluator([(3.0, 0.0), (0.0, 3.0)], obstacles=obs)
+    out = extract_pdcs_at_point(ev, ct, (0.0, 0.0))
+    covered = set().union(*[set(ps.covered) for ps in out])
+    assert covered == {1}  # device 0 is shadowed
+
+
+def test_strategies_at_point_wrapper():
+    ev, ct = evaluator([(3.0, 0.0)])
+    strats = strategies_at_point(ev, ct, (0.0, 0.0))
+    assert len(strats) == 1
+    assert strats[0].ctype is ct
+    assert strats[0].position == (0.0, 0.0)

@@ -1,0 +1,171 @@
+"""Tests for the end-to-end HIPO solver (Theorem 4.2 pipeline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import build_candidate_set, select_strategies, solve_hipo
+from repro.geometry import rectangle
+from repro.opt import exhaustive_best, ChargingUtilityObjective
+
+from conftest import simple_scenario
+
+
+def test_candidate_set_structure():
+    sc = simple_scenario([(8.0, 10.0), (12.0, 10.0)], budget=2)
+    cs = build_candidate_set(sc)
+    assert cs.num_candidates > 0
+    assert cs.approx_power.shape == (cs.num_candidates, 2)
+    assert cs.exact_power.shape == (cs.num_candidates, 2)
+    assert len(cs.part_of) == cs.num_candidates
+    assert cs.capacities == [2]
+    # Approximation is an underestimate of the exact power.
+    assert np.all(cs.approx_power <= cs.exact_power + 1e-12)
+    # Lemma 4.1 bound row-wise on covered entries.
+    covered = cs.approx_power > 0
+    ratio = cs.exact_power[covered] / cs.approx_power[covered]
+    from repro.core import epsilon1_for
+
+    assert np.all(ratio <= 1.0 + epsilon1_for(0.15) + 1e-9)
+
+
+def test_candidate_rows_match_evaluator():
+    sc = simple_scenario([(8.0, 10.0), (12.0, 10.0)], budget=1)
+    cs = build_candidate_set(sc)
+    ev = sc.evaluator()
+    for k in range(min(25, cs.num_candidates)):
+        vec = ev.power_vector(cs.strategies[k])
+        assert np.allclose(vec, cs.exact_power[k], atol=1e-9)
+
+
+def test_zero_budget_type_skipped():
+    sc = simple_scenario([(10.0, 10.0)], budget=0)
+    cs = build_candidate_set(sc)
+    assert cs.num_candidates == 0
+    strategies, greedy = select_strategies(sc, cs)
+    assert strategies == []
+
+
+def test_solve_hipo_respects_budget():
+    sc = simple_scenario([(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], budget=2)
+    sol = solve_hipo(sc)
+    assert len(sol.strategies) <= 2
+    assert 0.0 <= sol.utility <= 1.0
+    assert sol.utility >= sol.approx_utility - 1e-9  # underestimated objective
+
+
+def test_solve_hipo_covers_single_device_fully():
+    # One device, generous threshold: HIPO should saturate it.
+    sc = simple_scenario([(10.0, 10.0)], budget=2, threshold=0.5)
+    sol = solve_hipo(sc)
+    assert sol.utility > 0.0
+    # Best single-charger power is a/(dmin+b)^2 at distance dmin = 1: 100/36.
+    # threshold 0.5 saturates easily with one charger.
+    assert math.isclose(sol.utility, 1.0, rel_tol=1e-9)
+
+
+def test_solver_deterministic():
+    sc = simple_scenario([(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], budget=2)
+    s1 = solve_hipo(sc)
+    s2 = solve_hipo(sc)
+    assert s1.utility == s2.utility
+    assert [s.position for s in s1.strategies] == [s.position for s in s2.strategies]
+
+
+def test_greedy_vs_exhaustive_on_candidates():
+    """The greedy achieves >= 1/2 of the optimum over the same candidate set
+    (here we verify against exhaustive search, usually it is optimal)."""
+    sc = simple_scenario([(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], budget=2, threshold=0.3)
+    cs = build_candidate_set(sc)
+    if cs.num_candidates > 60:
+        # Thin deterministically to keep exhaustive search tractable.
+        keep = list(range(0, cs.num_candidates, cs.num_candidates // 60 + 1))
+        cs.strategies = [cs.strategies[k] for k in keep]
+        cs.approx_power = cs.approx_power[keep]
+        cs.exact_power = cs.exact_power[keep]
+        cs.part_of = [cs.part_of[k] for k in keep]
+    ev = sc.evaluator()
+    obj = ChargingUtilityObjective(cs.approx_power, ev.thresholds)
+    _strats, greedy = select_strategies(sc, cs)
+    best = exhaustive_best(obj, cs.matroid())
+    assert greedy.value >= 0.5 * best.value - 1e-9
+
+
+def test_lazy_and_algorithm3_order_agree_on_value():
+    sc = simple_scenario([(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], budget=2)
+    base = solve_hipo(sc)
+    lazy = solve_hipo(sc, lazy=True)
+    ordered = solve_hipo(sc, algorithm3_order=True)
+    assert math.isclose(base.approx_utility, lazy.approx_utility, abs_tol=1e-9)
+    # Algorithm-3 order may differ slightly but stays within the guarantee.
+    assert ordered.approx_utility > 0.0
+
+
+def test_exact_objective_mode():
+    sc = simple_scenario([(6.0, 10.0), (10.0, 10.0)], budget=1)
+    sol = solve_hipo(sc, objective_power="exact")
+    assert sol.utility > 0.0
+
+
+def test_positions_override():
+    sc = simple_scenario([(10.0, 10.0)], budget=1)
+    override = {"ct": np.array([[7.0, 10.0]])}
+    sol = solve_hipo(sc, positions_by_type=override, keep_candidates=True)
+    assert all(s.position == (7.0, 10.0) for s in sol.strategies)
+    assert sol.utility > 0.0
+
+
+def test_obstacle_blocks_reduce_utility():
+    free = simple_scenario([(10.0, 10.0)], budget=1, threshold=5.0)
+    # Box the device in so every candidate position is shadowed or far.
+    walls = [
+        rectangle(8.0, 8.0, 12.0, 9.5),
+        rectangle(8.0, 10.5, 12.0, 12.0),
+        rectangle(8.0, 9.5, 9.0, 10.5),
+    ]
+    blocked = simple_scenario([(10.0, 10.0)], budget=1, threshold=5.0, obstacles=walls)
+    u_free = solve_hipo(free).utility
+    u_blocked = solve_hipo(blocked).utility
+    assert u_blocked <= u_free + 1e-12
+
+
+def test_keep_candidates_flag():
+    sc = simple_scenario([(10.0, 10.0)], budget=1)
+    assert solve_hipo(sc).candidate_set is None
+    assert solve_hipo(sc, keep_candidates=True).candidate_set is not None
+
+
+def test_refine_option_never_worse():
+    sc = simple_scenario([(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], budget=2)
+    base = solve_hipo(sc)
+    refined = solve_hipo(sc, refine=True)
+    assert refined.approx_utility >= base.approx_utility - 1e-12
+
+
+def test_hardened_solver_margins():
+    from repro.core import solve_hipo_hardened
+
+    sc = simple_scenario(
+        [(6.0, 10.0), (10.0, 10.0), (14.0, 10.0)], budget=2, dmin=1.0, dmax=6.0
+    )
+    sol = solve_hipo_hardened(sc, angle_margin=0.05, radial_margin=0.3)
+    # Strategies carry the TRUE hardware types.
+    for s in sol.strategies:
+        assert s.ctype.dmin == 1.0 and s.ctype.dmax == 6.0
+    assert 0.0 <= sol.utility <= 1.0
+    # Every covered device keeps radial slack: distance within the shrunk ring.
+    ev = sc.evaluator()
+    for s in sol.strategies:
+        powers = ev.power_vector(s)
+        for j in np.nonzero(powers)[0]:
+            d = math.dist(s.position, sc.devices[j].position)
+            assert 1.0 + 0.3 - 1e-6 <= d <= 6.0 - 0.3 + 1e-6
+
+
+def test_hardened_solver_validation():
+    from repro.core import solve_hipo_hardened
+
+    sc = simple_scenario([(10.0, 10.0)])
+    with pytest.raises(ValueError):
+        solve_hipo_hardened(sc, angle_margin=-0.1)

@@ -1,0 +1,72 @@
+"""Tests for the placement-analysis metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import compare_placements, jain_index, placement_metrics
+from repro.model import Strategy
+
+from conftest import simple_scenario
+
+
+def scenario():
+    return simple_scenario(
+        [(4.0, 10.0), (10.0, 10.0), (16.0, 10.0)], threshold=0.05, budget=2
+    )
+
+
+def test_jain_index_extremes():
+    assert math.isclose(jain_index([1.0, 1.0, 1.0, 1.0]), 1.0)
+    assert math.isclose(jain_index([1.0, 0.0, 0.0, 0.0]), 0.25)
+    assert jain_index([]) == 0.0
+    assert jain_index([0.0, 0.0]) == 0.0
+
+
+def test_jain_index_scale_invariant():
+    v = [0.2, 0.5, 0.9]
+    assert math.isclose(jain_index(v), jain_index([10 * x for x in v]), rel_tol=1e-12)
+
+
+def test_empty_placement_metrics():
+    sc = scenario()
+    m = placement_metrics(sc, [])
+    assert m.utility == 0.0
+    assert m.uncharged == 3
+    assert m.total_power == 0.0
+    assert m.redundancy == 0.0
+    assert m.chargers_by_type == {}
+
+
+def test_placement_metrics_consistency():
+    sc = scenario()
+    ct = sc.charger_types[0]
+    strategies = [Strategy((7.0, 10.0), 0.0, ct), Strategy((13.0, 10.0), math.pi, ct)]
+    m = placement_metrics(sc, strategies)
+    assert math.isclose(m.utility, sc.utility_of(strategies), rel_tol=1e-12)
+    assert m.chargers_by_type == {"ct": 2}
+    assert 0 <= m.uncharged <= 3
+    assert m.saturated >= 0
+    assert m.min_utility <= m.utility
+    assert 0.0 <= m.jain <= 1.0
+    assert "utility" in m.format()
+
+
+def test_redundancy_counts_multi_coverage():
+    sc = simple_scenario([(10.0, 10.0)], threshold=5.0, budget=2)
+    ct = sc.charger_types[0]
+    # Two chargers both covering the single device from opposite sides.
+    strategies = [Strategy((7.0, 10.0), 0.0, ct), Strategy((13.0, 10.0), math.pi, ct)]
+    m = placement_metrics(sc, strategies)
+    assert m.redundancy == 2.0
+
+
+def test_compare_placements():
+    sc = scenario()
+    ct = sc.charger_types[0]
+    a = [Strategy((7.0, 10.0), 0.0, ct)]
+    b = []
+    out = compare_placements(sc, {"a": a, "b": b})
+    assert set(out) == {"a", "b"}
+    assert out["a"].utility >= out["b"].utility

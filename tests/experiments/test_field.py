@@ -1,0 +1,89 @@
+"""Tests for the §7 field testbed scenario."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import field_scenario
+from repro.experiments.field import (
+    FIELD_BOUNDS,
+    FIELD_SENSOR_STRATEGIES,
+    field_charger_types,
+    field_coefficients,
+    field_device_types,
+    field_obstacles,
+)
+
+
+def test_field_scenario_structure():
+    sc = field_scenario()
+    assert sc.bounds == FIELD_BOUNDS
+    assert sc.num_devices == 10
+    assert sc.num_chargers == 6  # 1 + 2 + 3
+    assert len(sc.obstacles) == 3
+    assert {ct.name for ct in sc.charger_types} == {"tb-1w", "tb-2w", "tx91501-3w"}
+
+
+def test_sensor_layout_matches_paper():
+    sc = field_scenario()
+    for dev, (pos, deg) in zip(sc.devices, FIELD_SENSOR_STRATEGIES):
+        assert dev.position == pos
+        assert math.isclose(dev.orientation, math.radians(deg) % (2 * math.pi), abs_tol=1e-12)
+    # Five nodes of each type.
+    names = [d.dtype.name for d in sc.devices]
+    assert names[:5] == ["sensor-a"] * 5 and names[5:] == ["sensor-b"] * 5
+
+
+def test_tx91501_keepout_is_17cm():
+    tx = next(ct for ct in field_charger_types() if ct.name == "tx91501-3w")
+    assert tx.dmin == 17.0  # the paper's field measurement
+
+
+def test_power_scales_with_wattage():
+    table = field_coefficients()
+    a1 = table.get("tb-1w", "sensor-a").a
+    a2 = table.get("tb-2w", "sensor-a").a
+    a3 = table.get("tx91501-3w", "sensor-a").a
+    assert math.isclose(a2 / a1, 2.0)
+    assert math.isclose(a3 / a1, 3.0)
+
+
+def test_obstacles_inside_arena():
+    for h in field_obstacles():
+        xmin, ymin, xmax, ymax = h.bbox
+        assert 0.0 <= xmin and xmax <= 120.0 and 0.0 <= ymin and ymax <= 120.0
+
+
+def test_sensors_not_inside_obstacles():
+    sc = field_scenario()
+    for d in sc.devices:
+        assert not any(h.contains(d.position) for h in sc.obstacles)
+
+
+def test_received_powers_in_fig26_range():
+    """A charger one-third across the arena delivers milliwatt-scale power
+    (the Fig. 26 axis runs 0–40 mW)."""
+    sc = field_scenario()
+    ev = sc.evaluator()
+    from repro.model import Strategy
+
+    tx = sc.charger_type("tx91501-3w")
+    s = Strategy((90.0, 20.0), math.pi, tx)  # pointing west toward sensors
+    p = ev.power_vector(s)
+    assert p.max() <= 60.0
+    # Some sensor should be reachable from a reasonable position.
+    found = False
+    for x in range(10, 120, 20):
+        for y in range(10, 120, 20):
+            for theta in np.linspace(0, 2 * math.pi, 8, endpoint=False):
+                if sc.is_free((float(x), float(y))):
+                    v = ev.power_vector(Strategy((float(x), float(y)), float(theta), tx))
+                    if v.max() > 0:
+                        found = True
+    assert found
+
+
+def test_threshold_override():
+    sc = field_scenario(threshold_mw=30.0)
+    assert all(d.threshold == 30.0 for d in sc.devices)

@@ -1,0 +1,109 @@
+"""Smoke tests for every figure-reproduction function (reduced parameters).
+
+The full-scale runs live in benchmarks/; here we verify each harness
+produces well-formed series with sane values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    field_comparison,
+    fig10_instance,
+    fig11a_num_chargers,
+    fig11b_num_devices,
+    fig11c_charging_angle,
+    fig11d_receiving_angle,
+    fig11e_power_threshold,
+    fig11f_dmin,
+    fig12_distributed_time,
+    fig13_threshold_deltas,
+    fig14_dmin_dmax_surface,
+    fig15_utility_cdf,
+)
+
+FAST_ALGOS = ("RPAD", "RPAR")
+
+
+def check_table(table, x_expected, names):
+    assert table.x == list(x_expected)
+    assert set(table.series) == set(names)
+    for vals in table.series.values():
+        assert all(np.isfinite(v) for v in vals)
+
+
+def test_fig10_small():
+    res = fig10_instance(seed=1, charger_multiple=1, device_multiple=1, algorithms=FAST_ALGOS)
+    assert set(res.utilities) == set(FAST_ALGOS)
+    assert all(0.0 <= u <= 1.0 for u in res.utilities.values())
+    assert "charging utility" in res.format()
+
+
+@pytest.mark.parametrize(
+    "fn,kw,xs",
+    [
+        (fig11a_num_chargers, {"multiples": (1, 2)}, (1, 2)),
+        (fig11b_num_devices, {"multiples": (1,)}, (1,)),
+        (fig11c_charging_angle, {"factors": (1.0,)}, (1.0,)),
+        (fig11d_receiving_angle, {"factors": (1.0,)}, (1.0,)),
+        (fig11e_power_threshold, {"thresholds": (0.05,)}, (0.05,)),
+        (fig11f_dmin, {"factors": (0.0, 1.0)}, (0.0, 1.0)),
+    ],
+)
+def test_fig11_family_smoke(fn, kw, xs):
+    table = fn(repeats=1, algorithms=FAST_ALGOS, **kw)
+    check_table(table, xs, FAST_ALGOS)
+    for vals in table.series.values():
+        assert all(0.0 <= v <= 1.0 for v in vals)
+
+
+def test_fig11a_more_chargers_non_decreasing():
+    table = fig11a_num_chargers(multiples=(1, 4), repeats=2, algorithms=("RPAD",))
+    assert table.series["RPAD"][1] >= table.series["RPAD"][0] - 0.05
+
+
+def test_fig12_distributed_smoke():
+    table = fig12_distributed_time(multiples=(1,), machines=(2, 4), repeats=1)
+    assert "Non-Dis" in table.series and "Dis-2" in table.series and "Dis-4" in table.series
+    # Normalized: Non-Dis at 1x equals 1 by construction.
+    assert np.isclose(table.series["Non-Dis"][0], 1.0)
+    assert table.series["Dis-2"][0] <= 1.0 + 1e-9
+    assert table.series["Dis-4"][0] <= table.series["Dis-2"][0] + 1e-9
+
+
+def test_fig13_smoke():
+    table = fig13_threshold_deltas(deltas=(0.0,), multiples=(1,), repeats=1)
+    assert set(table.series) == {"0"}
+    assert 0.0 <= table.series["0"][0] <= 1.0
+
+
+def test_fig13_sign_labels():
+    table = fig13_threshold_deltas(deltas=(-0.005, 0.005), multiples=(1,), repeats=1)
+    assert set(table.series) == {"-0.005", "+0.005"}
+
+
+def test_fig14_smoke():
+    table = fig14_dmin_dmax_surface(
+        dmax_factors=(1.0,), ratios=(0.0, 0.5), repeats=1, device_multiple=1
+    )
+    assert set(table.series) == {"dmin/dmax=0", "dmin/dmax=0.5"}
+    vals = [table.series[k][0] for k in table.series]
+    assert all(0.0 <= v <= 1.0 for v in vals)
+
+
+def test_fig15_smoke():
+    out = fig15_utility_cdf(seed=2, device_multiple=1, algorithms=FAST_ALGOS)
+    assert set(out) == set(FAST_ALGOS)
+    for u in out.values():
+        assert u.shape == (10,)  # 1x devices = 10
+        assert np.all(np.diff(u) >= 0)  # sorted
+        assert np.all((0 <= u) & (u <= 1))
+
+
+@pytest.mark.slow
+def test_field_comparison_shape():
+    res = field_comparison(algorithms=("GPAD Triangle", "GPPDCS Triangle"))
+    assert set(res.utilities) == {"GPAD Triangle", "GPPDCS Triangle"}
+    for u in res.utilities.values():
+        assert u.shape == (10,)
+    assert "#1" in res.format()

@@ -1,0 +1,77 @@
+"""Tests for the ASCII and SVG scene renderers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_scene, render_svg, save_svg
+from repro.geometry import rectangle
+from repro.model import Strategy
+
+from conftest import simple_scenario
+
+
+def scenario():
+    return simple_scenario(
+        [(4.0, 4.0), (15.0, 15.0)], obstacles=[rectangle(8.0, 8.0, 12.0, 12.0)]
+    )
+
+
+def test_render_scene_dimensions():
+    sc = scenario()
+    out = render_scene(sc, width=40, height=20)
+    lines = out.splitlines()
+    assert len(lines) == 22  # 20 rows + 2 borders
+    assert all(len(line) == 42 for line in lines)
+
+
+def test_render_scene_markers():
+    sc = scenario()
+    ct = sc.charger_types[0]
+    out = render_scene(sc, [Strategy((2.0, 2.0), 0.0, ct)])
+    assert out.count("o") >= 2  # both devices
+    assert "#" in out  # obstacle
+    assert ">" in out  # east-facing charger arrow
+
+
+def test_render_scene_charger_on_device_cell():
+    sc = simple_scenario([(10.0, 10.0)])
+    ct = sc.charger_types[0]
+    out = render_scene(sc, [Strategy((10.0, 10.0), 0.0, ct)], width=20, height=10)
+    assert "*" in out
+
+
+def test_render_scene_y_axis_up():
+    sc = simple_scenario([(10.0, 19.0)])  # near the top of the region
+    out = render_scene(sc, width=20, height=10)
+    lines = out.splitlines()[1:-1]  # strip borders
+    # Device should appear in the first (top) few rows.
+    top_rows = "".join(lines[:3])
+    assert "o" in top_rows
+
+
+def test_render_svg_structure():
+    sc = scenario()
+    ct = sc.charger_types[0]
+    svg = render_svg(sc, [Strategy((2.0, 2.0), math.pi / 4, ct)])
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert svg.count("<circle") == 2  # one dot per device
+    assert "<polygon" in svg  # obstacle
+    assert "<path" in svg  # charging sector ring
+
+
+def test_render_svg_receiving_areas_flag():
+    sc = scenario()
+    plain = render_svg(sc)
+    with_rx = render_svg(sc, show_receiving_areas=True)
+    assert with_rx.count("<path") > plain.count("<path")
+
+
+def test_save_svg(tmp_path):
+    sc = scenario()
+    path = tmp_path / "scene.svg"
+    save_svg(str(path), sc)
+    content = path.read_text()
+    assert content.startswith("<svg") and content.endswith("</svg>")

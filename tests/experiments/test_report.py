@@ -1,0 +1,53 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments import generate_report
+
+
+def test_generate_report_fig10_only(tmp_path):
+    path = generate_report(
+        str(tmp_path / "out"),
+        include=("fig10",),
+        algorithms=("RPAD", "RPAR"),
+        device_multiple=1,
+        seed=3,
+    )
+    assert path.exists()
+    text = path.read_text()
+    assert "# HIPO reproduction report" in text
+    assert "Fig. 10" in text
+    assert (tmp_path / "out" / "fig10_best_placement.svg").exists()
+
+
+def test_generate_report_fig11a_csv(tmp_path):
+    path = generate_report(
+        str(tmp_path / "out"),
+        include=("fig11a",),
+        algorithms=("RPAD", "RPAR"),
+        multiples=(1,),
+        repeats=1,
+    )
+    text = path.read_text()
+    assert "Fig. 11(a)" in text
+    assert (tmp_path / "out" / "fig11a.csv").exists()
+    # No HIPO series -> no improvement block.
+    assert "mean improvement" not in text
+
+
+def test_generate_report_fig15_table(tmp_path):
+    path = generate_report(
+        str(tmp_path / "out"),
+        include=("fig15",),
+        algorithms=("RPAR",),
+        device_multiple=1,
+        seed=2,
+    )
+    text = path.read_text()
+    assert "| algorithm |" in text
+    assert "RPAR" in text
+
+
+def test_generate_report_rejects_unknown_section(tmp_path):
+    with pytest.raises(ValueError):
+        generate_report(str(tmp_path), include=("nope",))

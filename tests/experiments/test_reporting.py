@@ -1,0 +1,92 @@
+"""Tests for the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SeriesTable, cdf_points, format_percent
+
+
+def test_series_table_add_and_format():
+    t = SeriesTable("x", [1, 2, 3])
+    t.add("a", [0.1, 0.2, 0.3])
+    t.add("b", [0.3, 0.2, 0.1])
+    out = t.format()
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("x")
+    assert "a" in lines[0] and "b" in lines[0]
+    assert len(lines) == 4
+    assert "0.1000" in lines[1]
+
+
+def test_series_table_length_mismatch():
+    t = SeriesTable("x", [1, 2])
+    with pytest.raises(ValueError):
+        t.add("a", [1.0])
+
+
+def test_series_table_csv(tmp_path):
+    t = SeriesTable("x", [1, 2])
+    t.add("a", [0.5, 0.6])
+    path = tmp_path / "out.csv"
+    t.to_csv(str(path))
+    content = path.read_text().strip().splitlines()
+    assert content[0] == "x,a"
+    assert content[1] == "1,0.5"
+
+
+def test_improvement_over():
+    t = SeriesTable("x", [1, 2])
+    t.add("HIPO", [0.8, 0.6])
+    t.add("base", [0.4, 0.3])
+    imp = t.improvement_over("HIPO")
+    assert np.isclose(imp["base"], 100.0)
+    assert "HIPO" not in imp
+
+
+def test_improvement_over_skips_zero_points():
+    t = SeriesTable("x", [1, 2])
+    t.add("HIPO", [0.8, 0.6])
+    t.add("zero", [0.0, 0.3])
+    imp = t.improvement_over("HIPO")
+    assert np.isclose(imp["zero"], 100.0)  # only the second point counts
+    t2 = SeriesTable("x", [1])
+    t2.add("HIPO", [0.8])
+    t2.add("allzero", [0.0])
+    assert t2.improvement_over("HIPO")["allzero"] == float("inf")
+
+
+def test_cdf_points():
+    v, f = cdf_points([0.3, 0.1, 0.2])
+    assert np.allclose(v, [0.1, 0.2, 0.3])
+    assert np.allclose(f, [1 / 3, 2 / 3, 1.0])
+    v0, f0 = cdf_points([])
+    assert v0.size == 0 and f0.size == 0
+
+
+def test_format_percent():
+    assert format_percent(33.491) == "33.49%"
+    assert format_percent(float("inf")) == "inf%"
+
+
+def test_headline_improvements_aggregation():
+    from repro.experiments import headline_improvements
+
+    t1 = SeriesTable("x", [1]); t1.add("HIPO", [0.8]); t1.add("base", [0.4]); t1.add("other", [0.2])
+    t2 = SeriesTable("x", [1]); t2.add("HIPO", [0.9]); t2.add("base", [0.3]); t2.add("extra", [0.1])
+    out = headline_improvements([t1, t2])
+    # 'other'/'extra' not common to both tables -> dropped.
+    assert set(out) == {"base"}
+    # mean of 100% and 200%.
+    assert np.isclose(out["base"], 150.0)
+
+
+def test_headline_improvements_edge_cases():
+    from repro.experiments import headline_improvements
+
+    assert headline_improvements([]) == {}
+    t = SeriesTable("x", [1]); t.add("A", [0.5]); t.add("B", [0.4])
+    with pytest.raises(KeyError):
+        headline_improvements([t])  # no HIPO series
+    t2 = SeriesTable("x", [1]); t2.add("HIPO", [0.5]); t2.add("dead", [0.0])
+    out = headline_improvements([t2])
+    assert out["dead"] == float("inf")

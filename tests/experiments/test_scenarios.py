@@ -1,0 +1,111 @@
+"""Tests for the §6 default setup (Tables 2–4) and random topologies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    default_budgets,
+    default_charger_types,
+    default_coefficients,
+    default_device_types,
+    default_obstacles,
+    random_devices,
+    random_scenario,
+    small_scenario,
+)
+from repro.experiments.scenarios import INITIAL_CHARGER_COUNTS, INITIAL_DEVICE_COUNTS
+
+
+def test_table2_charger_types():
+    cts = default_charger_types()
+    assert [ct.charging_angle for ct in cts] == [math.pi / 6, math.pi / 3, math.pi / 2]
+    assert [ct.dmin for ct in cts] == [5.0, 3.0, 2.0]
+    assert [ct.dmax for ct in cts] == [10.0, 8.0, 6.0]
+
+
+def test_table3_device_types():
+    dts = default_device_types()
+    assert [dt.receiving_angle for dt in dts] == [
+        math.pi / 2,
+        2 * math.pi / 3,
+        3 * math.pi / 4,
+        math.pi,
+    ]
+
+
+def test_table4_coefficients():
+    table = default_coefficients()
+    # Spot-check the four corners of Table 4.
+    assert table.get("charger-1", "device-1").a == 100.0
+    assert table.get("charger-1", "device-1").b == 40.0
+    assert table.get("charger-3", "device-1").a == 120.0
+    assert table.get("charger-1", "device-4").a == 190.0
+    assert table.get("charger-3", "device-4").a == 210.0
+    assert table.get("charger-3", "device-4").b == 84.0
+    # b = 0.4 a everywhere
+    for ci in range(1, 4):
+        for di in range(1, 5):
+            c = table.get(f"charger-{ci}", f"device-{di}")
+            assert math.isclose(c.b, 0.4 * c.a)
+
+
+def test_default_budgets_multiples():
+    assert default_budgets(1) == INITIAL_CHARGER_COUNTS
+    b3 = default_budgets(3)
+    assert b3 == {"charger-1": 3, "charger-2": 6, "charger-3": 9}
+    with pytest.raises(ValueError):
+        default_budgets(-1)
+
+
+def test_default_obstacles_inside_area():
+    for h in default_obstacles():
+        xmin, ymin, xmax, ymax = h.bbox
+        assert 0.0 <= xmin and xmax <= 40.0 and 0.0 <= ymin and ymax <= 40.0
+
+
+def test_random_devices_counts_and_feasibility(rng):
+    devices = random_devices(rng, device_multiple=2)
+    assert len(devices) == 2 * sum(INITIAL_DEVICE_COUNTS)
+    counts = {}
+    for d in devices:
+        counts[d.dtype.name] = counts.get(d.dtype.name, 0) + 1
+    assert counts == {"device-1": 8, "device-2": 6, "device-3": 4, "device-4": 2}
+    for d in devices:
+        assert not any(h.contains(d.position) for h in default_obstacles())
+
+
+def test_random_devices_custom_counts(rng):
+    devices = random_devices(rng, counts=(1, 1, 1, 1))
+    assert len(devices) == 4
+    with pytest.raises(ValueError):
+        random_devices(rng, counts=(1, 1))
+
+
+def test_random_scenario_defaults(rng):
+    sc = random_scenario(rng)
+    assert sc.num_devices == 40  # 4x (4+3+2+1)
+    assert sc.num_chargers == 18  # 3x (1+2+3)
+    assert sc.bounds == (0.0, 0.0, 40.0, 40.0)
+    assert len(sc.obstacles) == 2
+    assert all(d.threshold == 0.05 for d in sc.devices)
+
+
+def test_random_scenario_threshold_override(rng):
+    sc = random_scenario(rng, threshold=0.08)
+    assert all(d.threshold == 0.08 for d in sc.devices)
+
+
+def test_random_scenario_reproducible():
+    sc1 = random_scenario(np.random.default_rng(5))
+    sc2 = random_scenario(np.random.default_rng(5))
+    assert [d.position for d in sc1.devices] == [d.position for d in sc2.devices]
+
+
+def test_small_scenario(rng):
+    sc = small_scenario(rng, num_devices=5)
+    assert sc.num_devices == 5
+    assert sc.num_chargers == 3
+    sc2 = small_scenario(rng, with_obstacle=False)
+    assert len(sc2.obstacles) == 0

@@ -1,0 +1,80 @@
+"""Tests for the placement robustness analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import perturb_strategies, placement_robustness
+from repro.geometry import rectangle
+from repro.model import Strategy
+
+from conftest import simple_scenario
+
+
+def scenario():
+    return simple_scenario(
+        [(6.0, 10.0), (14.0, 10.0)], obstacles=[rectangle(9.0, 4.0, 11.0, 8.0)], budget=2
+    )
+
+
+def placement(sc):
+    ct = sc.charger_types[0]
+    return [Strategy((3.0, 10.0), 0.0, ct), Strategy((17.0, 10.0), math.pi, ct)]
+
+
+def test_perturb_preserves_structure(rng):
+    sc = scenario()
+    strategies = placement(sc)
+    perturbed = perturb_strategies(sc, strategies, rng, position_sigma=0.5)
+    assert len(perturbed) == len(strategies)
+    for orig, new in zip(strategies, perturbed):
+        assert new.ctype is orig.ctype
+        assert sc.is_free(new.position)
+        # Position moved but not wildly (0.5 sigma, 2 dims).
+        assert math.dist(orig.position, new.position) < 5.0
+
+
+def test_perturb_zero_sigma_identity(rng):
+    sc = scenario()
+    strategies = placement(sc)
+    perturbed = perturb_strategies(sc, strategies, rng, position_sigma=0.0, angle_sigma=0.0)
+    for orig, new in zip(strategies, perturbed):
+        assert np.allclose(orig.position, new.position)
+        assert math.isclose(orig.orientation, new.orientation)
+
+
+def test_robustness_curve_shapes(rng):
+    sc = scenario()
+    strategies = placement(sc)
+    curve = placement_robustness(sc, strategies, rng, sigmas=(0.1, 1.0), trials=8)
+    assert len(curve.mean_utility) == 2
+    assert all(0.0 <= u <= 1.0 for u in curve.mean_utility)
+    assert all(w <= m + 1e-12 for w, m in zip(curve.worst_utility, curve.mean_utility))
+    assert curve.nominal_utility == sc.utility_of(strategies)
+    assert "retention" in dir(curve)
+    assert "sigma" in curve.format()
+
+
+def test_small_noise_small_damage(rng):
+    """Tiny perturbations barely move the utility; huge ones hurt more."""
+    sc = scenario()
+    strategies = placement(sc)
+    curve = placement_robustness(
+        sc, strategies, rng, sigmas=(0.05, 4.0), trials=15
+    )
+    assert curve.mean_utility[0] >= curve.mean_utility[1] - 0.05
+    assert curve.retention()[0] > 0.7
+
+
+def test_robustness_validation(rng):
+    sc = scenario()
+    with pytest.raises(ValueError):
+        placement_robustness(sc, placement(sc), rng, trials=0)
+
+
+def test_empty_placement(rng):
+    sc = scenario()
+    curve = placement_robustness(sc, [], rng, sigmas=(0.5,), trials=3)
+    assert curve.nominal_utility == 0.0
+    assert curve.retention() == [0.0]

@@ -1,0 +1,75 @@
+"""Tests for the sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_sweep
+from repro.experiments.sweeps import bench_repeats as _bench_repeats
+
+from conftest import simple_scenario
+
+
+def tiny_factory(x, rng):
+    # x scales the budget; topology comes from the rng.
+    pts = rng.uniform(2.0, 18.0, size=(3, 2))
+    return simple_scenario([tuple(p) for p in pts], budget=int(x))
+
+
+def test_run_sweep_shapes():
+    table = run_sweep([1, 2], tiny_factory, algorithms=["RPAR", "RPAD"], repeats=2, seed=1)
+    assert table.x == [1, 2]
+    assert set(table.series) == {"RPAR", "RPAD"}
+    assert all(len(v) == 2 for v in table.series.values())
+    assert all(0.0 <= u <= 1.0 for v in table.series.values() for u in v)
+
+
+def test_run_sweep_reproducible():
+    t1 = run_sweep([1], tiny_factory, algorithms=["RPAR"], repeats=2, seed=7)
+    t2 = run_sweep([1], tiny_factory, algorithms=["RPAR"], repeats=2, seed=7)
+    assert t1.series == t2.series
+
+
+def test_run_sweep_seed_changes_results():
+    t1 = run_sweep([1], tiny_factory, algorithms=["RPAR"], repeats=1, seed=7)
+    t2 = run_sweep([1], tiny_factory, algorithms=["RPAR"], repeats=1, seed=8)
+    assert t1.series != t2.series
+
+
+def test_run_sweep_unknown_algorithm():
+    with pytest.raises(KeyError):
+        run_sweep([1], tiny_factory, algorithms=["NOPE"], repeats=1)
+
+
+def test_run_sweep_includes_hipo():
+    table = run_sweep([2], tiny_factory, algorithms=["HIPO", "RPAR"], repeats=1, seed=3)
+    # HIPO (optimizing) should not lose to pure random placement here.
+    assert table.series["HIPO"][0] >= table.series["RPAR"][0] - 1e-9
+
+
+def test_bench_repeats_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_REPEATS", raising=False)
+    assert _bench_repeats(4) == 4
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "7")
+    assert _bench_repeats(4) == 7
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "junk")
+    assert _bench_repeats(4) == 4
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "0")
+    assert _bench_repeats(4) == 1
+
+
+def test_run_sweep_parallel_matches_serial():
+    """workers > 1 gives bit-identical results (per-cell SeedSequences)."""
+    from repro.experiments.figures import _charger_multiple_factory
+
+    serial = run_sweep(
+        [1], _charger_multiple_factory, algorithms=["RPAR", "RPAD"], repeats=2, seed=5
+    )
+    parallel = run_sweep(
+        [1],
+        _charger_multiple_factory,
+        algorithms=["RPAR", "RPAD"],
+        repeats=2,
+        seed=5,
+        workers=2,
+    )
+    assert serial.series == parallel.series

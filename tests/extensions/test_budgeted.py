@@ -1,0 +1,169 @@
+"""Tests for deployment-cost-constrained placement (§8.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import build_candidate_set
+from repro.extensions import (
+    DeploymentCostModel,
+    budgeted_placement,
+    placement_cost,
+)
+from repro.model import ChargerType, Strategy
+
+from conftest import simple_scenario
+
+CT = ChargerType("ct", math.pi / 2, 1.0, 6.0)
+
+
+def scenario():
+    return simple_scenario(
+        [(4.0, 4.0), (10.0, 10.0), (16.0, 16.0)], budget=3, threshold=0.05
+    )
+
+
+def test_strategy_cost_components():
+    model = DeploymentCostModel(base=(0.0, 0.0), power_of_type={"ct": 2.0})
+    s = Strategy((3.0, 4.0), 1.0, CT)
+    assert math.isclose(model.strategy_cost(s), 5.0 + 1.0 + 2.0)
+    assert math.isclose(model.strategy_cost(s, travel=1.0), 1.0 + 1.0 + 2.0)
+
+
+def test_strategy_cost_monotone_functions():
+    model = DeploymentCostModel(
+        f_distance=lambda d: d * d, f_rotation=lambda t: 0.0, f_power=lambda p: 0.0
+    )
+    s = Strategy((3.0, 4.0), 0.0, CT)
+    assert math.isclose(model.strategy_cost(s), 25.0)
+
+
+def test_placement_cost_empty():
+    assert placement_cost([], DeploymentCostModel()) == 0.0
+
+
+def test_placement_cost_tour_vs_straight():
+    model = DeploymentCostModel()
+    strats = [Strategy((5.0, 0.0), 0.0, CT), Strategy((5.0, 1.0), 0.0, CT)]
+    tour = placement_cost(strats, model, use_tour=True)
+    straight = placement_cost(strats, model, use_tour=False)
+    assert tour > 0.0 and straight > 0.0
+
+
+def test_budgeted_respects_budget():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    model = DeploymentCostModel()
+    budget = 30.0
+    sol = budgeted_placement(sc, cs, budget, cost_model=model)
+    # The additive surrogate cost respects the budget by construction.
+    surrogate = sum(model.strategy_cost(s) for s in sol.strategies)
+    assert surrogate <= budget + 1e-9
+    assert 0.0 <= sol.utility <= 1.0
+
+
+def test_budgeted_zero_budget_selects_nothing():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    sol = budgeted_placement(sc, cs, 0.0)
+    assert sol.strategies == []
+    assert sol.utility == 0.0
+
+
+def test_budgeted_negative_budget_rejected():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    with pytest.raises(ValueError):
+        budgeted_placement(sc, cs, -1.0)
+
+
+def test_budgeted_utility_monotone_in_budget():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    utils = [budgeted_placement(sc, cs, b).utility for b in (5.0, 20.0, 60.0, 1e6)]
+    for a, b in zip(utils, utils[1:]):
+        assert b >= a - 1e-9
+
+
+def test_budgeted_large_budget_matches_unconstrained_greedy_scale():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    sol = budgeted_placement(sc, cs, 1e9)
+    # With effectively no budget the type budgets still cap selection.
+    assert len(sol.strategies) <= sum(cs.capacities)
+    assert sol.utility > 0.0
+
+
+def test_budgeted_respects_type_capacities():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    sol = budgeted_placement(sc, cs, 1e9)
+    count = sum(1 for s in sol.strategies if s.ctype.name == "ct")
+    assert count <= sc.budgets["ct"]
+
+
+def test_best_singleton_fallback():
+    """When the ratio-greedy picks a cheap low-value item that blocks the
+    budget, the best affordable singleton must still be considered."""
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    model = DeploymentCostModel()
+    costs = np.array([model.strategy_cost(s) for s in cs.strategies])
+    budget = float(np.median(costs))
+    sol = budgeted_placement(sc, cs, budget, cost_model=model)
+    # Any affordable single candidate cannot beat the returned solution.
+    ev = sc.evaluator()
+    best_single = 0.0
+    for k, s in enumerate(cs.strategies):
+        if costs[k] <= budget:
+            u = float(np.minimum(1.0, cs.exact_power[k] / ev.thresholds).mean())
+            best_single = max(best_single, u)
+    assert sol.utility >= best_single - 0.35 * best_single - 1e-9
+
+
+def test_placement_cost_obstacle_aware_tour():
+    from repro.geometry import rectangle
+
+    model = DeploymentCostModel(f_rotation=lambda t: 0.0, f_power=lambda p: 0.0)
+    strats = [Strategy((9.0, 0.0), 0.0, CT)]
+    wall = rectangle(4.0, -5.0, 5.0, 5.0)
+    free = placement_cost(strats, model, obstacles=None)
+    detoured = placement_cost(strats, model, obstacles=[wall])
+    assert detoured > free
+
+
+def test_multi_base_travel_groups_and_length():
+    from repro.extensions import multi_base_travel
+
+    strats = [
+        Strategy((2.0, 0.0), 0.0, CT),
+        Strategy((3.0, 0.0), 0.0, CT),
+        Strategy((18.0, 0.0), 0.0, CT),
+    ]
+    bases = [(0.0, 0.0), (20.0, 0.0)]
+    groups, total = multi_base_travel(strats, bases)
+    assert groups[0] == [0, 1] or groups[0] == [1, 0]
+    assert groups[1] == [2]
+    # Base 0 tour: 0->2->3->0 = 6; base 1 tour: 20->18->20 = 4.
+    assert math.isclose(total, 10.0, rel_tol=1e-9)
+
+
+def test_multi_base_travel_beats_single_far_base():
+    from repro.extensions import multi_base_travel
+
+    strats = [Strategy((2.0, 0.0), 0.0, CT), Strategy((18.0, 0.0), 0.0, CT)]
+    _g1, two_bases = multi_base_travel(strats, [(0.0, 0.0), (20.0, 0.0)])
+    _g2, one_base = multi_base_travel(strats, [(0.0, 0.0)])
+    assert two_bases < one_base
+
+
+def test_multi_base_travel_edge_cases():
+    from repro.extensions import multi_base_travel
+
+    groups, total = multi_base_travel([], [(0.0, 0.0)])
+    assert groups == [[]] and total == 0.0
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        multi_base_travel([], [])

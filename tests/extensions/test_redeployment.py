@@ -1,0 +1,125 @@
+"""Tests for charger redeployment (§8.1)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    cost_matrix,
+    minimize_max_overhead,
+    minimize_total_overhead,
+    redeploy,
+    switching_cost,
+)
+from repro.model import ChargerType, Strategy
+
+CT = ChargerType("ct", math.pi / 2, 1.0, 6.0)
+CT2 = ChargerType("ct2", math.pi / 3, 1.0, 8.0)
+
+
+def strat(x, y, theta=0.0, ct=CT):
+    return Strategy((x, y), theta, ct)
+
+
+def test_switching_cost_components():
+    a = strat(0.0, 0.0, 0.0)
+    b = strat(3.0, 4.0, math.pi / 2)
+    assert math.isclose(switching_cost(a, b), 5.0 + math.pi / 2)
+    assert math.isclose(switching_cost(a, b, move_weight=2.0, rotate_weight=0.0), 10.0)
+
+
+def test_switching_cost_rotation_wraps():
+    a = strat(0.0, 0.0, 0.1)
+    b = strat(0.0, 0.0, 2.0 * math.pi - 0.1)
+    assert math.isclose(switching_cost(a, b), 0.2, abs_tol=1e-9)
+
+
+def test_cost_matrix_requires_equal_counts():
+    with pytest.raises(ValueError):
+        cost_matrix([strat(0, 0)], [strat(1, 1), strat(2, 2)])
+
+
+def test_minimize_total_matches_brute_force():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        old = [strat(*rng.uniform(0, 10, 2), rng.uniform(0, 6.28)) for _ in range(4)]
+        new = [strat(*rng.uniform(0, 10, 2), rng.uniform(0, 6.28)) for _ in range(4)]
+        c = cost_matrix(old, new)
+        plan = minimize_total_overhead({"ct": c})
+        brute = min(
+            sum(c[i, p[i]] for i in range(4)) for p in itertools.permutations(range(4))
+        )
+        assert math.isclose(plan.total_overhead, brute, rel_tol=1e-9)
+
+
+def test_minimize_max_matches_brute_force_bottleneck():
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        old = [strat(*rng.uniform(0, 10, 2), rng.uniform(0, 6.28)) for _ in range(4)]
+        new = [strat(*rng.uniform(0, 10, 2), rng.uniform(0, 6.28)) for _ in range(4)]
+        c = cost_matrix(old, new)
+        plan = minimize_max_overhead({"ct": c})
+        brute_bottleneck = min(
+            max(c[i, p[i]] for i in range(4)) for p in itertools.permutations(range(4))
+        )
+        assert math.isclose(plan.max_overhead, brute_bottleneck, rel_tol=1e-9)
+
+
+def test_minimize_max_then_total():
+    """Among bottleneck-optimal matchings, the plan minimizes the total."""
+    rng = np.random.default_rng(2)
+    for _ in range(8):
+        c = rng.uniform(0, 10, (4, 4))
+        plan = minimize_max_overhead({"ct": c})
+        best_total = math.inf
+        for p in itertools.permutations(range(4)):
+            mx = max(c[i, p[i]] for i in range(4))
+            if mx <= plan.max_overhead + 1e-9:
+                best_total = min(best_total, sum(c[i, p[i]] for i in range(4)))
+        assert math.isclose(plan.total_overhead, best_total, rel_tol=1e-9)
+
+
+def test_max_plan_total_never_below_total_plan():
+    rng = np.random.default_rng(3)
+    c = rng.uniform(0, 10, (5, 5))
+    total_plan = minimize_total_overhead({"ct": c})
+    max_plan = minimize_max_overhead({"ct": c})
+    assert max_plan.total_overhead >= total_plan.total_overhead - 1e-9
+    assert max_plan.max_overhead <= total_plan.max_overhead + 1e-9
+
+
+def test_redeploy_multiple_types():
+    old = {
+        "ct": [strat(0, 0), strat(1, 0)],
+        "ct2": [strat(5, 5, ct=CT2)],
+    }
+    new = {
+        "ct": [strat(0, 1), strat(1, 1)],
+        "ct2": [strat(6, 5, ct=CT2)],
+    }
+    plan = redeploy(old, new, objective="total")
+    assert set(plan.assignments) == {"ct", "ct2"}
+    assert math.isclose(plan.total_overhead, 3.0, rel_tol=1e-9)
+    plan_max = redeploy(old, new, objective="max")
+    assert math.isclose(plan_max.max_overhead, 1.0, rel_tol=1e-9)
+
+
+def test_redeploy_validation():
+    with pytest.raises(ValueError):
+        redeploy({"ct": []}, {"ct2": []})
+    with pytest.raises(ValueError):
+        redeploy({"ct": []}, {"ct": []}, objective="nope")
+
+
+def test_redeploy_custom_cost_fn():
+    old = {"ct": [strat(0, 0)]}
+    new = {"ct": [strat(3, 4)]}
+    plan = redeploy(old, new, cost_fn=lambda a, b: 42.0)
+    assert plan.total_overhead == 42.0
+
+
+def test_empty_plan():
+    plan = minimize_max_overhead({})
+    assert plan.total_overhead == 0.0 and plan.max_overhead == 0.0

@@ -1,0 +1,75 @@
+"""Tests for grid generators used by the baselines."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import grid_length_for_radius, square_grid, triangular_grid
+
+
+def test_grid_length_formula():
+    assert math.isclose(grid_length_for_radius(10.0), math.sqrt(2.0) / 2.0 * 10.0)
+
+
+def test_square_grid_covers_and_stays_inside():
+    pts = square_grid(0.0, 0.0, 10.0, 10.0, 3.0)
+    assert len(pts) == 16  # 4 x 4
+    assert pts[:, 0].min() >= 0.0 and pts[:, 0].max() <= 10.0
+    assert pts[:, 1].min() >= 0.0 and pts[:, 1].max() <= 10.0
+
+
+def test_square_grid_is_centered():
+    pts = square_grid(0.0, 0.0, 10.0, 10.0, 3.0)
+    # Margins split evenly: min + max == extent.
+    assert math.isclose(pts[:, 0].min() + pts[:, 0].max(), 10.0, abs_tol=1e-9)
+
+
+def test_square_grid_pitch():
+    pts = square_grid(0.0, 0.0, 10.0, 10.0, 3.0)
+    xs = np.unique(np.round(pts[:, 0], 9))
+    assert np.allclose(np.diff(xs), 3.0)
+
+
+def test_square_grid_degenerate_small_region():
+    pts = square_grid(0.0, 0.0, 1.0, 1.0, 5.0)
+    assert len(pts) == 1
+
+
+def test_square_grid_rejects_bad_pitch():
+    with pytest.raises(ValueError):
+        square_grid(0, 0, 1, 1, 0.0)
+
+
+def test_triangular_grid_row_offset():
+    pts = triangular_grid(0.0, 0.0, 10.0, 10.0, 2.0)
+    ys = np.unique(np.round(pts[:, 1], 6))
+    assert len(ys) >= 2
+    # Row spacing is pitch * sqrt(3)/2.
+    assert np.allclose(np.diff(ys), 2.0 * math.sqrt(3.0) / 2.0, atol=1e-6)
+    # Alternate rows are offset by half a pitch.
+    row0 = np.sort(pts[np.isclose(pts[:, 1], ys[0])][:, 0])
+    row1 = np.sort(pts[np.isclose(pts[:, 1], ys[1])][:, 0])
+    assert not math.isclose(row0[0], row1[0], abs_tol=1e-9)
+
+
+def test_triangular_grid_neighbor_distances():
+    pts = triangular_grid(0.0, 0.0, 20.0, 20.0, 4.0)
+    # Nearest-neighbour distance in a triangular lattice equals the pitch.
+    d = np.hypot(
+        pts[:, None, 0] - pts[None, :, 0], pts[:, None, 1] - pts[None, :, 1]
+    )
+    np.fill_diagonal(d, np.inf)
+    # Interior points should have a neighbour at exactly the pitch; allow
+    # boundary-row centering slack.
+    assert abs(d.min() - 4.0) < 0.75
+
+
+@given(st.floats(min_value=0.5, max_value=5.0))
+def test_grids_inside_bounds(pitch):
+    for gen in (square_grid, triangular_grid):
+        pts = gen(-3.0, 2.0, 7.0, 9.0, pitch)
+        assert len(pts) >= 1
+        assert pts[:, 0].min() >= -3.0 - 1e-9 and pts[:, 0].max() <= 7.0 + 1e-9
+        assert pts[:, 1].min() >= 2.0 - 1e-9 and pts[:, 1].max() <= 9.0 + 1e-9

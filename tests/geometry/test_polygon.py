@@ -1,0 +1,147 @@
+"""Tests for polygons (obstacles)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Polygon, convex_hull, rectangle, regular_polygon
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+def test_polygon_requires_three_vertices():
+    with pytest.raises(ValueError):
+        Polygon([(0, 0), (1, 1)])
+
+
+def test_polygon_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Polygon([(0, 0), (1, 1), (2, 2)])
+
+
+def test_polygon_normalizes_to_ccw():
+    cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])  # clockwise input
+    ccw = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+    # Both should have positive (equal) area and CCW vertex loops.
+    assert math.isclose(cw.area, 1.0)
+    assert math.isclose(ccw.area, 1.0)
+    x, y = cw.vertices[:, 0], cw.vertices[:, 1]
+    signed = (x * np.roll(y, -1) - np.roll(x, -1) * y).sum() / 2.0
+    assert signed > 0
+
+
+def test_rectangle_area_and_bbox():
+    r = rectangle(1.0, 2.0, 4.0, 6.0)
+    assert math.isclose(r.area, 12.0)
+    assert r.bbox == (1.0, 2.0, 4.0, 6.0)
+
+
+def test_rectangle_rejects_empty():
+    with pytest.raises(ValueError):
+        rectangle(1.0, 1.0, 1.0, 5.0)
+
+
+def test_contains_interior_exterior_boundary():
+    r = rectangle(0.0, 0.0, 2.0, 2.0)
+    assert r.contains((1.0, 1.0))
+    assert not r.contains((3.0, 1.0))
+    assert r.contains((0.0, 1.0), include_boundary=True)
+    assert not r.contains((0.0, 1.0), include_boundary=False)
+
+
+def test_contains_nonconvex():
+    # L-shape: the notch is outside.
+    L = Polygon([(0, 0), (3, 0), (3, 1), (1, 1), (1, 3), (0, 3)])
+    assert L.contains((0.5, 2.0))
+    assert L.contains((2.0, 0.5))
+    assert not L.contains((2.0, 2.0))
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(coords, coords), min_size=2, max_size=30), coords, coords)
+def test_contains_many_matches_scalar(pts, x, y):
+    poly = rectangle(-10.0, -10.0, 10.0, 10.0)
+    arr = np.array(pts + [(x, y)])
+    vec = poly.contains_many(arr)
+    for k, p in enumerate(arr):
+        assert vec[k] == poly.contains(p)
+
+
+def test_centroid_of_rectangle():
+    r = rectangle(0.0, 0.0, 2.0, 4.0)
+    assert np.allclose(r.centroid(), [1.0, 2.0])
+
+
+def test_blocks_segment_through_interior():
+    r = rectangle(2.0, 2.0, 4.0, 4.0)
+    assert r.blocks_segment((0.0, 3.0), (6.0, 3.0))
+    assert not r.blocks_segment((0.0, 5.0), (6.0, 5.0))
+
+
+def test_blocks_segment_endpoint_inside():
+    r = rectangle(2.0, 2.0, 4.0, 4.0)
+    assert r.blocks_segment((3.0, 3.0), (6.0, 3.0))
+
+
+def test_blocks_segment_grazing_edge_not_blocked():
+    r = rectangle(2.0, 2.0, 4.0, 4.0)
+    # Sliding exactly along the outside of the top edge: midpoint not interior.
+    assert not r.blocks_segment((0.0, 4.0), (6.0, 4.0))
+
+
+def test_blocks_segment_far_away_bbox_shortcut():
+    r = rectangle(2.0, 2.0, 4.0, 4.0)
+    assert not r.blocks_segment((10.0, 10.0), (12.0, 12.0))
+
+
+def test_distance_to_point():
+    r = rectangle(0.0, 0.0, 2.0, 2.0)
+    assert r.distance_to_point((1.0, 1.0)) == 0.0
+    assert math.isclose(r.distance_to_point((4.0, 1.0)), 2.0)
+    assert math.isclose(r.distance_to_point((5.0, 6.0)), 5.0)
+
+
+def test_translated_and_scaled():
+    r = rectangle(0.0, 0.0, 2.0, 2.0)
+    t = r.translated(1.0, 1.0)
+    assert t.contains((2.5, 2.5)) and not t.contains((0.5, 0.5))
+    s = r.scaled(2.0)
+    assert math.isclose(s.area, 16.0)  # linear factor 2 -> area factor 4
+    assert np.allclose(s.centroid(), r.centroid())
+
+
+def test_regular_polygon():
+    hexagon = regular_polygon((0.0, 0.0), 2.0, 6)
+    assert hexagon.num_edges == 6
+    # Area of regular hexagon with circumradius R: 3*sqrt(3)/2 * R^2
+    assert math.isclose(hexagon.area, 3.0 * math.sqrt(3.0) / 2.0 * 4.0, rel_tol=1e-9)
+    with pytest.raises(ValueError):
+        regular_polygon((0, 0), 1.0, 2)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(coords, coords), min_size=4, max_size=20))
+def test_convex_hull_contains_all_points(pts):
+    try:
+        hull = convex_hull(pts)
+    except ValueError:
+        return  # collinear or too few distinct points
+    for p in pts:
+        assert hull.contains(p, include_boundary=True) or hull.distance_to_point(p) < 1e-6
+
+
+def test_convex_hull_square():
+    hull = convex_hull([(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)])
+    assert hull.num_edges == 4
+    assert math.isclose(hull.area, 1.0)
+
+
+def test_edge_arrays_consistent_with_edges():
+    tri = Polygon([(0, 0), (2, 0), (1, 2)])
+    c, d, s = tri.edge_arrays()
+    for k, (a, b) in enumerate(tri.edges()):
+        assert np.allclose(c[k], a)
+        assert np.allclose(d[k], b)
+        assert np.allclose(s[k], np.asarray(b) - np.asarray(a))

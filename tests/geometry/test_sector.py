@@ -1,0 +1,112 @@
+"""Tests for the SectorRing region."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import SectorRing, polar_offset
+
+angles = st.floats(min_value=0.0, max_value=2.0 * math.pi, allow_nan=False)
+
+
+def ring(orient=0.0, half=math.pi / 4.0, rmin=1.0, rmax=4.0):
+    return SectorRing((0.0, 0.0), orient, half, rmin, rmax)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        SectorRing((0, 0), 0.0, math.pi / 4, 3.0, 2.0)
+    with pytest.raises(ValueError):
+        SectorRing((0, 0), 0.0, 0.0, 1.0, 2.0)
+    with pytest.raises(ValueError):
+        SectorRing((0, 0), 0.0, math.pi / 4, -1.0, 2.0)
+
+
+def test_contains_radial_extent():
+    r = ring()
+    assert not r.contains((0.5, 0.0))  # inside the keep-out
+    assert r.contains((1.0, 0.0))  # inner boundary
+    assert r.contains((2.5, 0.0))
+    assert r.contains((4.0, 0.0))  # outer boundary
+    assert not r.contains((4.5, 0.0))
+
+
+def test_contains_angular_extent():
+    r = ring()
+    p_in = polar_offset((0, 0), math.pi / 8.0, 2.0)
+    p_edge = polar_offset((0, 0), math.pi / 4.0, 2.0)
+    p_out = polar_offset((0, 0), math.pi / 3.0, 2.0)
+    assert r.contains(p_in)
+    assert r.contains(p_edge)
+    assert not r.contains(p_out)
+
+
+def test_apex_membership():
+    assert not ring(rmin=1.0).contains((0.0, 0.0))
+    zero_ring = SectorRing((0, 0), 0.0, math.pi / 4, 0.0, 4.0)
+    assert zero_ring.contains((0.0, 0.0))
+
+
+def test_full_annulus_has_no_radial_edges():
+    annulus = SectorRing((0, 0), 0.0, math.pi, 1.0, 2.0)
+    assert annulus.radial_edges() == []
+    # Any bearing is inside as long as the radius fits.
+    for theta in np.linspace(0, 2 * math.pi, 8, endpoint=False):
+        assert annulus.contains(polar_offset((0, 0), theta, 1.5))
+
+
+@given(angles, st.floats(min_value=0.05, max_value=math.pi), angles,
+       st.floats(min_value=0.0, max_value=3.0), st.floats(min_value=0.1, max_value=5.0))
+def test_contains_many_matches_scalar(orient, half, theta, rmin, extra):
+    r = SectorRing((1.0, -2.0), orient, half, rmin, rmin + extra)
+    pts = np.array(
+        [polar_offset((1.0, -2.0), theta + dt, rad) for dt in (0.0, 0.5, 1.5) for rad in (0.5, rmin + extra / 2, 10.0)]
+    )
+    vec = r.contains_many(pts)
+    for k, p in enumerate(pts):
+        assert vec[k] == r.contains(p)
+
+
+def test_rotation_invariance():
+    r = ring()
+    p = polar_offset((0, 0), 0.1, 2.0)
+    assert r.contains(p)
+    rotated = r.rotated(1.0)
+    p_rot = polar_offset((0, 0), 0.1 + 1.0, 2.0)
+    assert rotated.contains(p_rot)
+    assert not rotated.contains(polar_offset((0, 0), 0.1 - 1.0, 2.0))
+
+
+def test_radial_edges_endpoints():
+    r = ring()
+    edges = r.radial_edges()
+    assert len(edges) == 2
+    for a, b in edges:
+        assert math.isclose(np.hypot(*a), 1.0, rel_tol=1e-9)
+        assert math.isclose(np.hypot(*b), 4.0, rel_tol=1e-9)
+
+
+def test_clockwise_anticlockwise_boundaries():
+    r = ring(orient=1.0, half=0.5)
+    assert math.isclose(r.clockwise_boundary_angle(), 0.5, rel_tol=1e-12)
+    assert math.isclose(r.anticlockwise_boundary_angle(), 1.5, rel_tol=1e-12)
+
+
+def test_boundary_points_are_on_boundaryish():
+    r = ring()
+    pts = r.boundary_points(arc_samples=8)
+    assert len(pts) > 0
+    for p in pts:
+        assert r.contains(p, tol=1e-6)
+
+
+def test_area_formula():
+    r = ring(half=math.pi / 4.0, rmin=1.0, rmax=4.0)
+    assert math.isclose(r.area(), math.pi / 4.0 * (16.0 - 1.0), rel_tol=1e-12)
+
+
+def test_direction_unit_vector():
+    r = ring(orient=math.pi / 2.0)
+    assert np.allclose(r.direction(), [0.0, 1.0], atol=1e-12)

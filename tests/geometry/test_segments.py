@@ -1,0 +1,117 @@
+"""Tests for segment/line/ray intersection routines."""
+
+import math
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    line_intersection,
+    line_segment_intersection,
+    point_on_segment,
+    point_segment_distance,
+    ray_segment_intersection,
+    segment_intersection,
+    segment_segment_distance,
+    segments_intersect,
+    segments_properly_intersect,
+)
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+points = st.tuples(coords, coords)
+
+
+def test_segment_intersection_basic_cross():
+    p = segment_intersection((0, 0), (2, 2), (0, 2), (2, 0))
+    assert np.allclose(p, [1.0, 1.0])
+
+
+def test_segment_intersection_disjoint():
+    assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+
+def test_segment_intersection_parallel():
+    assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+    assert segment_intersection((0, 0), (1, 1), (1, 0), (2, 1)) is None
+
+
+def test_segment_intersection_at_endpoint():
+    p = segment_intersection((0, 0), (1, 0), (1, 0), (1, 1))
+    assert p is not None and np.allclose(p, [1.0, 0.0])
+
+
+def test_segments_intersect_collinear_overlap():
+    assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+    assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+
+def test_segments_properly_intersect_excludes_touching():
+    assert segments_properly_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+    # Touching at an endpoint is not a proper crossing.
+    assert not segments_properly_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+    # Collinear overlap is not a proper crossing.
+    assert not segments_properly_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+
+@given(points, points, points, points)
+def test_segment_intersection_point_lies_on_both(a, b, c, d):
+    p = segment_intersection(a, b, c, d)
+    if p is not None:
+        assert point_on_segment(p, a, b, tol=1e-6)
+        assert point_on_segment(p, c, d, tol=1e-6)
+
+
+@given(points, points, points, points)
+def test_proper_implies_intersect(a, b, c, d):
+    if segments_properly_intersect(a, b, c, d):
+        assert segments_intersect(a, b, c, d)
+        assert segment_intersection(a, b, c, d) is not None
+
+
+def test_line_intersection_extends_segments():
+    p = line_intersection((0, 0), (1, 0), (5, -1), (5, 1))
+    assert np.allclose(p, [5.0, 0.0])
+
+
+def test_line_segment_intersection_respects_segment():
+    assert line_segment_intersection((0, 0), (1, 0), (5, 1), (5, 3)) is None
+    p = line_segment_intersection((0, 0), (1, 0), (5, -1), (5, 1))
+    assert np.allclose(p, [5.0, 0.0])
+
+
+def test_ray_segment_intersection_direction():
+    p = ray_segment_intersection((0, 0), (1, 0), (5, -1), (5, 1))
+    assert np.allclose(p, [5.0, 0.0])
+    # Behind the ray origin: no intersection.
+    assert ray_segment_intersection((0, 0), (-1, 0), (5, -1), (5, 1)) is None
+
+
+def test_point_segment_distance_cases():
+    # Projection inside the segment.
+    assert math.isclose(point_segment_distance((1, 1), (0, 0), (2, 0)), 1.0)
+    # Projection beyond an endpoint.
+    assert math.isclose(point_segment_distance((3, 0), (0, 0), (2, 0)), 1.0)
+    # Degenerate segment.
+    assert math.isclose(point_segment_distance((3, 4), (0, 0), (0, 0)), 5.0)
+
+
+@given(points, points, points)
+def test_point_segment_distance_nonnegative_and_bounded(p, a, b):
+    d = point_segment_distance(p, a, b)
+    assert d >= 0.0
+    assert d <= math.dist(p, a) + 1e-9
+
+
+def test_segment_segment_distance_intersecting_is_zero():
+    assert segment_segment_distance((0, 0), (2, 2), (0, 2), (2, 0)) == 0.0
+
+
+def test_segment_segment_distance_parallel():
+    assert math.isclose(segment_segment_distance((0, 0), (1, 0), (0, 1), (1, 1)), 1.0)
+
+
+@given(points, points, points, points)
+def test_segment_segment_distance_symmetry(a, b, c, d):
+    d1 = segment_segment_distance(a, b, c, d)
+    d2 = segment_segment_distance(c, d, a, b)
+    assert math.isclose(d1, d2, rel_tol=1e-9, abs_tol=1e-9)

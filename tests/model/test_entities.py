@@ -1,0 +1,54 @@
+"""Tests for Device / Strategy entities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import ChargerType, Device, DeviceType, Strategy
+
+
+CT = ChargerType("ct", math.pi / 2.0, 1.0, 6.0)
+DT = DeviceType("dt", math.pi)
+
+
+def test_device_normalizes_orientation():
+    d = Device((1.0, 2.0), -math.pi / 2.0, DT, 0.1)
+    assert math.isclose(d.orientation, 3.0 * math.pi / 2.0)
+    assert d.position == (1.0, 2.0)
+
+
+def test_device_requires_positive_threshold():
+    with pytest.raises(ValueError):
+        Device((0, 0), 0.0, DT, 0.0)
+
+
+def test_device_receiving_ring_uses_charger_radii():
+    d = Device((0.0, 0.0), 0.0, DT, 0.1)
+    ring = d.receiving_ring(CT)
+    assert ring.rmin == CT.dmin and ring.rmax == CT.dmax
+    assert math.isclose(ring.half_angle, DT.half_angle)
+    # Geometric symmetry: a charger inside the receiving ring sees the device
+    # within its own ring distance.
+    assert ring.contains((3.0, 0.0))
+    assert not ring.contains((0.5, 0.0))
+
+
+def test_strategy_charging_ring():
+    s = Strategy((1.0, 1.0), math.pi / 2.0, CT)
+    ring = s.charging_ring()
+    assert ring.contains((1.0, 4.0))  # straight ahead (north)
+    assert not ring.contains((1.0, -4.0))  # behind
+
+
+def test_strategy_direction():
+    s = Strategy((0.0, 0.0), math.pi, CT)
+    assert np.allclose(s.direction(), [-1.0, 0.0], atol=1e-12)
+
+
+def test_entities_hashable_and_frozen():
+    s1 = Strategy((1.0, 1.0), 0.0, CT)
+    s2 = Strategy((1.0, 1.0), 0.0, CT)
+    assert s1 == s2 and hash(s1) == hash(s2)
+    with pytest.raises(Exception):
+        s1.orientation = 1.0  # type: ignore[misc]

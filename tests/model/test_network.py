@@ -1,0 +1,96 @@
+"""Tests for the Scenario container."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import rectangle
+from repro.model import Strategy
+
+from conftest import simple_scenario
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        simple_scenario([(1.0, 1.0)], bounds=(0, 0, 0, 5))
+
+
+def test_budget_for_unknown_type_rejected():
+    sc = simple_scenario([(1.0, 1.0)])
+    with pytest.raises(ValueError):
+        sc.with_budgets({"nope": 1})
+
+
+def test_counts():
+    sc = simple_scenario([(1.0, 1.0), (2.0, 2.0)], budget=3)
+    assert sc.num_devices == 2
+    assert sc.num_chargers == 3
+
+
+def test_charger_type_lookup():
+    sc = simple_scenario([(1.0, 1.0)])
+    assert sc.charger_type("ct").name == "ct"
+    with pytest.raises(KeyError):
+        sc.charger_type("missing")
+
+
+def test_is_free_respects_obstacles_and_bounds():
+    sc = simple_scenario([(1.0, 1.0)], obstacles=[rectangle(4, 4, 6, 6)])
+    assert sc.is_free((2.0, 2.0))
+    assert not sc.is_free((5.0, 5.0))
+    assert not sc.is_free((-1.0, 2.0))
+
+
+def test_random_free_point_avoids_obstacles(rng):
+    sc = simple_scenario([(1.0, 1.0)], obstacles=[rectangle(4, 4, 16, 16)])
+    for _ in range(50):
+        p = sc.random_free_point(rng)
+        assert sc.is_free(p)
+
+
+def test_utility_of_placement():
+    sc = simple_scenario([(3.0, 1.0)], threshold=100.0 / 64.0)  # exactly P(d=3)
+    ct = sc.charger_types[0]
+    s = Strategy((0.0, 1.0), 0.0, ct)
+    assert math.isclose(sc.utility_of([s]), 1.0, rel_tol=1e-9)
+    assert sc.utility_of([]) == 0.0
+
+
+def test_with_budgets_resets_cache():
+    sc = simple_scenario([(3.0, 1.0)])
+    ev1 = sc.evaluator()
+    sc2 = sc.with_budgets({"ct": 5})
+    assert sc2.num_chargers == 5
+    assert sc2.evaluator() is not ev1
+    assert sc.evaluator() is ev1  # original untouched
+
+
+def test_scale_device_angles():
+    sc = simple_scenario([(3.0, 1.0)], device_angle=math.pi / 2.0)
+    sc2 = sc.scale_device_angles(2.0)
+    assert math.isclose(sc2.devices[0].dtype.receiving_angle, math.pi)
+    # All devices of a type share the scaled instance.
+    sc3 = simple_scenario([(1.0, 1.0), (2.0, 2.0)], device_angle=math.pi / 2.0).scale_device_angles(1.5)
+    assert sc3.devices[0].dtype is sc3.devices[1].dtype
+
+
+def test_scale_charger_types():
+    sc = simple_scenario([(3.0, 1.0)], dmin=1.0, dmax=6.0)
+    sc2 = sc.scale_charger_types(dmax=2.0, dmin=0.5)
+    ct = sc2.charger_types[0]
+    assert math.isclose(ct.dmax, 12.0)
+    assert math.isclose(ct.dmin, 0.5)
+
+
+def test_with_thresholds_by_type():
+    sc = simple_scenario([(3.0, 1.0)], threshold=0.05)
+    sc2 = sc.with_thresholds({"dt": 0.09})
+    assert sc2.devices[0].threshold == 0.09
+    sc3 = sc.with_thresholds({"other": 0.09})
+    assert sc3.devices[0].threshold == 0.05  # unknown type names leave devices alone
+
+
+def test_evaluator_cached():
+    sc = simple_scenario([(3.0, 1.0)])
+    assert sc.evaluator() is sc.evaluator()

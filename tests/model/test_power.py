@@ -1,0 +1,149 @@
+"""Tests for the practical charging model (Eq. 1/2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import rectangle
+from repro.model import (
+    ChargerType,
+    Device,
+    DeviceType,
+    PowerEvaluator,
+    Strategy,
+    pair_power,
+)
+
+from conftest import make_table
+
+
+CT = ChargerType("ct", math.pi / 2.0, 1.0, 6.0)
+DT_OMNI = DeviceType("dt", 2.0 * math.pi)
+DT_NARROW = DeviceType("dtn", math.pi / 2.0)
+TABLE = make_table([CT], [DT_OMNI, DT_NARROW], a=100.0, b=5.0)
+
+
+def dev(pos, orient=0.0, dtype=DT_OMNI, th=0.5):
+    return Device(pos, orient, dtype, th)
+
+
+def strat(pos, orient=0.0):
+    return Strategy(pos, orient, CT)
+
+
+def test_power_magnitude_follows_law():
+    # Device 3m east, charger facing east, omnidirectional receiver.
+    p = pair_power(strat((0, 0), 0.0), dev((3.0, 0.0)), [], TABLE)
+    assert math.isclose(p, 100.0 / (3.0 + 5.0) ** 2, rel_tol=1e-12)
+
+
+def test_power_zero_outside_ring():
+    assert pair_power(strat((0, 0)), dev((0.5, 0.0)), [], TABLE) == 0.0  # too close
+    assert pair_power(strat((0, 0)), dev((7.0, 0.0)), [], TABLE) == 0.0  # too far
+    assert pair_power(strat((0, 0)), dev((1.0, 0.0)), [], TABLE) > 0.0  # dmin boundary
+    assert pair_power(strat((0, 0)), dev((6.0, 0.0)), [], TABLE) > 0.0  # dmax boundary
+
+
+def test_power_zero_outside_charger_cone():
+    # Charger faces east with aperture pi/2: a device due north is outside.
+    assert pair_power(strat((0, 0), 0.0), dev((0.0, 3.0)), [], TABLE) == 0.0
+    # Device at 45 degrees sits exactly on the cone boundary: covered.
+    d = dev((2.0, 2.0))
+    assert pair_power(strat((0, 0), 0.0), d, [], TABLE) > 0.0
+
+
+def test_power_zero_outside_device_cone():
+    # Narrow receiver facing east; charger to its west is outside its cone.
+    d = dev((3.0, 0.0), orient=0.0, dtype=DT_NARROW)
+    assert pair_power(strat((0, 0), 0.0), d, [], TABLE) == 0.0
+    # Receiver facing the charger (west): covered.
+    d2 = dev((3.0, 0.0), orient=math.pi, dtype=DT_NARROW)
+    assert pair_power(strat((0, 0), 0.0), d2, [], TABLE) > 0.0
+
+
+def test_power_blocked_by_obstacle():
+    obs = [rectangle(1.0, -0.5, 2.0, 0.5)]
+    assert pair_power(strat((0, 0), 0.0), dev((3.0, 0.0)), obs, TABLE) == 0.0
+    # Same geometry, obstacle shifted away: power restored.
+    obs2 = [rectangle(1.0, 2.0, 2.0, 3.0)]
+    assert pair_power(strat((0, 0), 0.0), dev((3.0, 0.0)), obs2, TABLE) > 0.0
+
+
+def test_colocated_charger_device_gets_zero():
+    assert pair_power(strat((0, 0)), dev((0.0, 0.0)), [], TABLE) == 0.0
+
+
+@settings(max_examples=100)
+@given(
+    st.floats(min_value=-8, max_value=8),
+    st.floats(min_value=-8, max_value=8),
+    st.floats(min_value=0, max_value=2 * math.pi),
+    st.floats(min_value=-8, max_value=8),
+    st.floats(min_value=-8, max_value=8),
+    st.floats(min_value=0, max_value=2 * math.pi),
+)
+def test_evaluator_matches_scalar_reference(sx, sy, so, dx, dy, do):
+    devices = [dev((dx, dy), do, DT_NARROW), dev((dx * 0.5, dy * 0.5), do, DT_OMNI)]
+    obstacles = [rectangle(2.0, 2.0, 3.0, 3.0)]
+    # Skip degenerate boundary-grazing layouts (vectorized LOS uses parity).
+    for h in obstacles:
+        if any(h.distance_to_point(p) < 1e-6 for p in [(sx, sy), (dx, dy), (dx * 0.5, dy * 0.5)]):
+            return
+    ev = PowerEvaluator(devices, obstacles, TABLE, [CT])
+    s = strat((sx, sy), so)
+    vec = ev.power_vector(s)
+    for j, d in enumerate(devices):
+        ref = pair_power(s, d, obstacles, TABLE)
+        assert math.isclose(vec[j], ref, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def test_power_additivity():
+    devices = [dev((3.0, 0.0)), dev((-3.0, 0.0))]
+    ev = PowerEvaluator(devices, [], TABLE, [CT])
+    s1 = strat((0.0, 0.0), 0.0)
+    s2 = strat((0.0, 0.0), math.pi)
+    total = ev.total_power([s1, s2])
+    assert np.allclose(total, ev.power_vector(s1) + ev.power_vector(s2))
+    assert total[0] > 0 and total[1] > 0
+
+
+def test_power_matrix_shape_and_rows():
+    devices = [dev((3.0, 0.0)), dev((0.0, 3.0))]
+    ev = PowerEvaluator(devices, [], TABLE, [CT])
+    strategies = [strat((0, 0), 0.0), strat((0, 0), math.pi / 2)]
+    P = ev.power_matrix(strategies)
+    assert P.shape == (2, 2)
+    assert np.allclose(P[0], ev.power_vector(strategies[0]))
+
+
+def test_coverable_separates_orientation_independent_conditions():
+    devices = [
+        dev((3.0, 0.0)),               # in ring
+        dev((10.0, 0.0)),              # too far
+        dev((3.0, 0.1), orient=0.0, dtype=DT_NARROW),  # cone facing away
+    ]
+    ev = PowerEvaluator(devices, [], TABLE, [CT])
+    mask, dists, bearings = ev.coverable(CT, (0.0, 0.0))
+    assert mask.tolist() == [True, False, False]
+    assert math.isclose(dists[0], 3.0)
+    assert abs(bearings[0]) < 1e-9
+
+
+def test_los_cache_consistency():
+    obs = [rectangle(1.0, -0.5, 2.0, 0.5)]
+    devices = [dev((3.0, 0.0)), dev((0.0, 3.0))]
+    ev = PowerEvaluator(devices, obs, TABLE, [CT])
+    m1 = ev.los_mask((0.0, 0.0))
+    m2 = ev.los_mask((0.0, 0.0))  # cached path
+    assert np.array_equal(m1, m2)
+    assert m1.tolist() == [False, True]
+    ev.clear_cache()
+    assert np.array_equal(ev.los_mask((0.0, 0.0)), m1)
+
+
+def test_coefficients_for_unregistered_type():
+    ev = PowerEvaluator([dev((3.0, 0.0))], [], TABLE, [])
+    a, b = ev.coefficients(CT)
+    assert a[0] == 100.0 and b[0] == 5.0

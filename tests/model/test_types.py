@@ -1,0 +1,71 @@
+"""Tests for charger/device type descriptions."""
+
+import math
+
+import pytest
+
+from repro.model import ChargerType, CoefficientTable, DeviceType, PairCoefficients
+
+
+def test_charger_type_validation():
+    with pytest.raises(ValueError):
+        ChargerType("x", 0.0, 1.0, 2.0)
+    with pytest.raises(ValueError):
+        ChargerType("x", math.pi, 3.0, 2.0)
+    with pytest.raises(ValueError):
+        ChargerType("x", math.pi, -1.0, 2.0)
+    ct = ChargerType("x", math.pi / 2, 1.0, 5.0)
+    assert math.isclose(ct.half_angle, math.pi / 4)
+
+
+def test_charger_type_scaled():
+    ct = ChargerType("x", math.pi / 2, 2.0, 8.0)
+    s = ct.scaled(angle=2.0, dmin=0.5, dmax=1.5)
+    assert math.isclose(s.charging_angle, math.pi)
+    assert math.isclose(s.dmin, 1.0)
+    assert math.isclose(s.dmax, 12.0)
+    assert s.name == ct.name
+
+
+def test_charger_type_scaled_clamps():
+    ct = ChargerType("x", math.pi, 2.0, 8.0)
+    s = ct.scaled(angle=4.0)
+    assert s.charging_angle <= 2.0 * math.pi + 1e-12
+    # dmin never crosses dmax
+    s2 = ct.scaled(dmin=10.0)
+    assert s2.dmin < s2.dmax
+
+
+def test_device_type_validation_and_scaled():
+    with pytest.raises(ValueError):
+        DeviceType("d", 0.0)
+    dt = DeviceType("d", math.pi / 2)
+    assert math.isclose(dt.scaled(angle=2.0).receiving_angle, math.pi)
+    assert dt.scaled(angle=100.0).receiving_angle <= 2.0 * math.pi + 1e-12
+
+
+def test_pair_coefficients():
+    with pytest.raises(ValueError):
+        PairCoefficients(0.0, 1.0)
+    with pytest.raises(ValueError):
+        PairCoefficients(1.0, -1.0)
+    c = PairCoefficients(100.0, 5.0)
+    assert math.isclose(c.power_at(5.0), 1.0)
+
+
+def test_coefficient_table_lookup():
+    ct = ChargerType("c1", math.pi / 2, 1.0, 5.0)
+    dt = DeviceType("d1", math.pi)
+    table = CoefficientTable({("c1", "d1"): PairCoefficients(10.0, 1.0)})
+    assert table.get(ct, dt).a == 10.0
+    assert table.get("c1", "d1").a == 10.0
+    with pytest.raises(KeyError):
+        table.get("c1", "missing")
+
+
+def test_coefficient_table_with_entry_is_functional():
+    table = CoefficientTable({})
+    t2 = table.with_entry("c1", "d1", PairCoefficients(3.0, 1.0))
+    assert t2.get("c1", "d1").a == 3.0
+    with pytest.raises(KeyError):
+        table.get("c1", "d1")  # original unchanged

@@ -1,0 +1,72 @@
+"""Tests for the charging utility model (Eq. 3/4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import total_utility, utilities, utility
+
+
+def test_utility_linear_below_threshold():
+    assert math.isclose(utility(0.025, 0.05), 0.5)
+    assert utility(0.0, 0.05) == 0.0
+
+
+def test_utility_saturates():
+    assert utility(0.05, 0.05) == 1.0
+    assert utility(10.0, 0.05) == 1.0
+
+
+def test_utility_rejects_bad_threshold():
+    with pytest.raises(ValueError):
+        utility(1.0, 0.0)
+
+
+def test_utility_negative_power_clamped():
+    assert utility(-1.0, 0.05) == 0.0
+
+
+@given(st.floats(min_value=0, max_value=10), st.floats(min_value=1e-3, max_value=10))
+def test_utility_range_and_monotone(p, th):
+    u = utility(p, th)
+    assert 0.0 <= u <= 1.0
+    assert utility(p + 0.1, th) >= u  # non-decreasing
+
+
+@given(
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=0.01, max_value=1),
+)
+def test_utility_concavity(x1, x2, dx, th):
+    # [U(x1+dx) - U(x1)] >= [U(x2+dx) - U(x2)] for x1 <= x2 (Eq. 12).
+    lo, hi = min(x1, x2), max(x1, x2)
+    g1 = utility(lo + dx, th) - utility(lo, th)
+    g2 = utility(hi + dx, th) - utility(hi, th)
+    assert g1 >= g2 - 1e-12
+
+
+def test_utilities_vectorized_matches_scalar():
+    p = np.array([0.0, 0.025, 0.05, 1.0])
+    th = np.array([0.05, 0.05, 0.05, 0.05])
+    u = utilities(p, th)
+    assert np.allclose(u, [0.0, 0.5, 1.0, 1.0])
+
+
+def test_total_utility_is_mean():
+    p = np.array([0.05, 0.0])
+    th = np.array([0.05, 0.05])
+    assert math.isclose(total_utility(p, th), 0.5)
+
+
+def test_total_utility_empty():
+    assert total_utility(np.zeros(0), np.zeros(0)) == 0.0
+
+
+def test_heterogeneous_thresholds():
+    p = np.array([0.03, 0.03])
+    th = np.array([0.03, 0.06])
+    assert np.allclose(utilities(p, th), [1.0, 0.5])

@@ -1,0 +1,83 @@
+"""Tests for scenario validation diagnostics."""
+
+import math
+
+from repro.geometry import rectangle
+from repro.model import Device, DeviceType, unreachable_devices, validate_scenario
+
+from conftest import simple_scenario
+
+
+def test_clean_scenario_ok():
+    sc = simple_scenario([(10.0, 10.0)], device_angle=2 * math.pi)
+    report = validate_scenario(sc)
+    assert report.ok
+    assert report.errors() == []
+    assert "OK" in report.format() or report.issues
+
+
+def test_device_inside_obstacle_is_error():
+    sc = simple_scenario([(10.0, 10.0)], obstacles=[rectangle(9.0, 9.0, 11.0, 11.0)])
+    report = validate_scenario(sc, check_reachability=False)
+    assert not report.ok
+    assert any(i.code == "device-in-obstacle" for i in report.errors())
+
+
+def test_device_outside_region_is_error():
+    sc = simple_scenario([(10.0, 10.0)])
+    bad_dev = Device((50.0, 50.0), 0.0, sc.devices[0].dtype, 0.1)
+    sc2 = sc.with_devices([bad_dev])
+    report = validate_scenario(sc2, check_reachability=False)
+    assert any(i.code == "device-outside-region" for i in report.errors())
+
+
+def test_zero_budgets():
+    sc = simple_scenario([(10.0, 10.0)], budget=0)
+    report = validate_scenario(sc, check_reachability=False)
+    assert any(i.code == "no-chargers" for i in report.errors())
+    assert any(i.code == "zero-budget-type" for i in report.warnings())
+
+
+def test_obstacles_dominate_region_warning():
+    sc = simple_scenario([(1.0, 1.0)], obstacles=[rectangle(2.0, 2.0, 19.0, 19.0)])
+    report = validate_scenario(sc, check_reachability=False)
+    assert any(i.code == "obstacles-dominate-region" for i in report.warnings())
+
+
+def test_reachable_device_not_flagged():
+    sc = simple_scenario([(10.0, 10.0)], device_angle=2 * math.pi)
+    assert unreachable_devices(sc) == []
+
+
+def test_boxed_in_device_flagged():
+    # Walls on all sides at a distance inside dmin=1... instead: surround the
+    # device so every ring position is shadowed or inside a wall.
+    walls = [
+        rectangle(7.0, 7.0, 13.0, 9.5),
+        rectangle(7.0, 10.5, 13.0, 13.0),
+        rectangle(7.0, 9.5, 9.0, 10.5),
+        rectangle(11.0, 9.5, 13.0, 10.5),
+    ]
+    sc = simple_scenario([(10.0, 10.0)], device_angle=2 * math.pi, dmin=4.0, dmax=6.0, obstacles=walls)
+    flagged = unreachable_devices(sc)
+    assert flagged == [0]
+    report = validate_scenario(sc)
+    assert any(i.code == "unreachable-device" for i in report.warnings())
+
+
+def test_cone_into_wall_flagged():
+    # Narrow receiver pointing straight into an adjacent wall.
+    wall = rectangle(10.5, 5.0, 12.0, 15.0)
+    dt = DeviceType("narrow", math.pi / 6)
+    sc = simple_scenario([(10.0, 10.0)], obstacles=[wall], dmin=2.0, dmax=6.0)
+    dev = Device((10.0, 10.0), 0.0, sc.devices[0].dtype, 0.1)
+    sc = sc.with_devices([Device((10.0, 10.0), 0.0, DeviceType("dt", math.pi / 6), 0.1)])
+    flagged = unreachable_devices(sc)
+    assert flagged == [0]
+
+
+def test_validation_report_format():
+    sc = simple_scenario([(10.0, 10.0)], budget=0)
+    report = validate_scenario(sc, check_reachability=False)
+    text = report.format()
+    assert "no-chargers" in text

@@ -1,0 +1,91 @@
+"""Tests for the charging-model variants (§2 taxonomy)."""
+
+import math
+
+import numpy as np
+
+from repro.geometry import rectangle
+from repro.model import (
+    Strategy,
+    classical_sector_variant,
+    obstacle_free_variant,
+    omnidirectional_variant,
+)
+
+from conftest import simple_scenario
+
+
+def base():
+    return simple_scenario(
+        [(10.0, 10.0), (4.0, 4.0)],
+        device_orientations=[0.0, math.pi],
+        device_angle=math.pi / 2,
+        charger_angle=math.pi / 2,
+        dmin=1.0,
+        dmax=6.0,
+        obstacles=[rectangle(6.0, 6.0, 8.0, 8.0)],
+    )
+
+
+def test_classical_sector_removes_keepout():
+    sc = classical_sector_variant(base())
+    ct = sc.charger_types[0]
+    assert ct.dmin == 0.0
+    assert ct.dmax == 6.0
+    assert ct.charging_angle == math.pi / 2  # aperture untouched
+    # A charger right next to the device now delivers power.
+    s = Strategy((10.5, 10.0), math.pi, ct)
+    dev_power = sc.evaluator().power_vector(s)
+    assert dev_power[0] > 0.0
+
+
+def test_classical_sector_keepout_device_dark_in_practical_model():
+    practical = base()
+    ct = practical.charger_types[0]
+    s = Strategy((10.5, 10.0), math.pi, ct)
+    assert practical.evaluator().power_vector(s)[0] == 0.0  # inside dmin
+
+
+def test_omnidirectional_all_angles_full():
+    sc = omnidirectional_variant(base())
+    assert all(math.isclose(ct.charging_angle, 2 * math.pi) for ct in sc.charger_types)
+    assert all(math.isclose(d.dtype.receiving_angle, 2 * math.pi) for d in sc.devices)
+    # Radial extents and obstacles kept.
+    assert sc.charger_types[0].dmin == 1.0
+    assert len(sc.obstacles) == 1
+
+
+def test_omnidirectional_coverage_is_superset():
+    practical = base()
+    omni = omnidirectional_variant(practical)
+    ev_p = practical.evaluator()
+    ev_o = omni.evaluator()
+    rng = np.random.default_rng(0)
+    for _ in range(40):
+        pos = tuple(rng.uniform(0, 20, 2))
+        theta = rng.uniform(0, 2 * math.pi)
+        s_p = Strategy(pos, theta, practical.charger_types[0])
+        s_o = Strategy(pos, theta, omni.charger_types[0])
+        covered_p = ev_p.power_vector(s_p) > 0
+        covered_o = ev_o.power_vector(s_o) > 0
+        assert np.all(covered_o | ~covered_p)  # practical-covered => omni-covered
+
+
+def test_obstacle_free_variant():
+    sc = obstacle_free_variant(base())
+    assert sc.obstacles == ()
+    ct = sc.charger_types[0]
+    # A previously shadowed configuration now works: device 1 at (4,4)
+    # faces west; place a charger west of it, shadow removed.
+    s = Strategy((1.0, 4.0), 0.0, ct)
+    assert sc.evaluator().power_vector(s)[1] > 0.0
+
+
+def test_variants_leave_original_untouched():
+    sc = base()
+    _ = omnidirectional_variant(sc)
+    _ = classical_sector_variant(sc)
+    _ = obstacle_free_variant(sc)
+    assert sc.charger_types[0].dmin == 1.0
+    assert len(sc.obstacles) == 1
+    assert math.isclose(sc.devices[0].dtype.receiving_angle, math.pi / 2)

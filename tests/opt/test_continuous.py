@@ -1,0 +1,79 @@
+"""Tests for the sampled continuous greedy (the paper's [39] alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.opt import (
+    ChargingUtilityObjective,
+    PartitionMatroid,
+    continuous_greedy,
+    exhaustive_best,
+    greedy_matroid,
+)
+
+
+def instance(rng, n=10, m=6):
+    P = rng.uniform(0.0, 0.06, size=(n, m))
+    P[rng.random((n, m)) < 0.5] = 0.0
+    th = np.full(m, 0.05)
+    return ChargingUtilityObjective(P, th)
+
+
+def test_continuous_greedy_feasible():
+    rng = np.random.default_rng(0)
+    f = instance(rng)
+    m = PartitionMatroid([0] * 5 + [1] * 5, [2, 2])
+    res = continuous_greedy(f, m, rng)
+    assert m.is_independent(res.indices)
+    assert 0.0 <= res.value <= 1.0
+    assert np.all((0.0 <= res.fractional) & (res.fractional <= 1.0))
+
+
+def test_continuous_greedy_near_optimal_small():
+    """On small instances the sampled continuous greedy should land within
+    the (1 - 1/e) band of the optimum (checked loosely)."""
+    rng = np.random.default_rng(1)
+    f = instance(rng, n=8, m=5)
+    m = PartitionMatroid([0] * 4 + [1] * 4, [2, 1])
+    res = continuous_greedy(f, m, rng, steps=30, samples=12, rounding_trials=24)
+    best = exhaustive_best(f, m)
+    assert res.value >= (1.0 - 1.0 / np.e) * best.value - 0.05
+    assert res.value <= best.value + 1e-9
+
+
+def test_continuous_greedy_competitive_with_greedy():
+    rng = np.random.default_rng(2)
+    vals_cg, vals_g = [], []
+    for seed in range(5):
+        local = np.random.default_rng(seed)
+        f = instance(local, n=12, m=8)
+        m = PartitionMatroid([0] * 6 + [1] * 6, [2, 2])
+        vals_cg.append(continuous_greedy(f, m, local, steps=25, samples=10).value)
+        vals_g.append(greedy_matroid(f, m).value)
+    assert np.mean(vals_cg) >= 0.85 * np.mean(vals_g)
+
+
+def test_continuous_greedy_costs_more_evaluations():
+    rng = np.random.default_rng(3)
+    f = instance(rng, n=20, m=8)
+    m = PartitionMatroid([0] * 10 + [1] * 10, [3, 3])
+    res = continuous_greedy(f, m, rng)
+    full = greedy_matroid(f, m)
+    assert res.evaluations > full.evaluations  # "too computationally demanding"
+
+
+def test_continuous_greedy_empty_and_validation():
+    f = instance(np.random.default_rng(0), n=0, m=3)
+    res = continuous_greedy(f, PartitionMatroid([], [1]), np.random.default_rng(0))
+    assert res.indices == [] and res.value == 0.0
+    f2 = instance(np.random.default_rng(0), n=4, m=3)
+    with pytest.raises(ValueError):
+        continuous_greedy(f2, PartitionMatroid([0, 0], [1]), np.random.default_rng(0))
+
+
+def test_continuous_greedy_zero_capacity_part():
+    rng = np.random.default_rng(4)
+    f = instance(rng, n=6, m=4)
+    m = PartitionMatroid([0, 0, 0, 1, 1, 1], [2, 0])
+    res = continuous_greedy(f, m, rng)
+    assert all(e < 3 for e in res.indices)

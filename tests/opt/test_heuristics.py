@@ -1,0 +1,92 @@
+"""Tests for the metaheuristics (§8.3 solvers)."""
+
+import numpy as np
+import pytest
+
+from repro.opt import (
+    ant_colony,
+    particle_swarm,
+    random_feasible_solution,
+    simulated_annealing,
+)
+
+PART_OF = [0, 0, 0, 0, 1, 1, 1, 1]
+CAPS = [2, 2]
+
+
+def feasible(indices):
+    counts = [0, 0]
+    for e in set(indices):
+        counts[PART_OF[e]] += 1
+    return len(set(indices)) == len(indices) and all(c <= cap for c, cap in zip(counts, CAPS))
+
+
+def value_table(rng):
+    vals = rng.uniform(0, 1, len(PART_OF))
+
+    def objective(indices):
+        return float(sum(vals[e] for e in indices))
+
+    best = sorted(vals[:4])[-2:] + sorted(vals[4:])[-2:]
+    return objective, float(sum(best))
+
+
+def test_random_feasible_solution_properties(rng):
+    for _ in range(30):
+        sol = random_feasible_solution(rng, PART_OF, CAPS)
+        assert feasible(sol)
+        assert len(sol) == 4  # maximal
+
+
+def test_random_feasible_with_small_parts(rng):
+    sol = random_feasible_solution(rng, [0, 1], [3, 0])
+    assert sol == [0]
+
+
+@pytest.mark.parametrize("method", ["sa", "pso", "aco"])
+def test_metaheuristics_find_modular_optimum(method, rng):
+    """With a modular (additive) objective all three should find the exact
+    optimum on this tiny instance."""
+    objective, opt = value_table(rng)
+    if method == "sa":
+        res = simulated_annealing(objective, PART_OF, CAPS, rng, iterations=800)
+    elif method == "pso":
+        res = particle_swarm(objective, PART_OF, CAPS, rng, particles=10, iterations=50)
+    else:
+        res = ant_colony(objective, PART_OF, CAPS, rng, ants=10, iterations=50)
+    assert feasible(res.indices)
+    assert res.value >= opt - 1e-9
+
+
+def test_simulated_annealing_never_degrades_best(rng):
+    objective, _ = value_table(rng)
+    res = simulated_annealing(objective, PART_OF, CAPS, rng, iterations=300)
+    hist = res.history
+    assert all(b >= a - 1e-12 for a, b in zip(hist, hist[1:]))
+    assert np.isclose(res.value, hist[-1])
+
+
+def test_simulated_annealing_accepts_initial(rng):
+    objective, _ = value_table(rng)
+    init = [0, 1, 4, 5]
+    res = simulated_annealing(objective, PART_OF, CAPS, rng, iterations=0, initial=init)
+    assert res.value >= objective(init) - 1e-12
+
+
+def test_particle_swarm_history_monotone(rng):
+    objective, _ = value_table(rng)
+    res = particle_swarm(objective, PART_OF, CAPS, rng, particles=6, iterations=20)
+    assert all(b >= a - 1e-12 for a, b in zip(res.history, res.history[1:]))
+
+
+def test_ant_colony_history_monotone(rng):
+    objective, _ = value_table(rng)
+    res = ant_colony(objective, PART_OF, CAPS, rng, ants=6, iterations=20)
+    assert all(b >= a - 1e-12 for a, b in zip(res.history, res.history[1:]))
+
+
+def test_metaheuristics_deterministic_given_seed():
+    objective = lambda idx: float(sum(idx))
+    r1 = simulated_annealing(objective, PART_OF, CAPS, np.random.default_rng(7), iterations=100)
+    r2 = simulated_annealing(objective, PART_OF, CAPS, np.random.default_rng(7), iterations=100)
+    assert r1.indices == r2.indices and r1.value == r2.value

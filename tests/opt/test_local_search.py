@@ -1,0 +1,72 @@
+"""Tests for the swap local-search refinement."""
+
+import numpy as np
+import pytest
+
+from repro.opt import (
+    ChargingUtilityObjective,
+    PartitionMatroid,
+    exhaustive_best,
+    greedy_matroid,
+    local_search_refine,
+)
+
+
+def instance(rng, n=14, m=8):
+    P = rng.uniform(0.0, 0.06, size=(n, m))
+    P[rng.random((n, m)) < 0.5] = 0.0
+    th = np.full(m, 0.05)
+    return ChargingUtilityObjective(P, th)
+
+
+def test_refine_never_degrades():
+    for seed in range(8):
+        rng = np.random.default_rng(seed)
+        f = instance(rng)
+        matroid = PartitionMatroid([0] * 7 + [1] * 7, [2, 2])
+        greedy = greedy_matroid(f, matroid)
+        refined = local_search_refine(f, matroid, greedy.indices)
+        assert refined.value >= greedy.value - 1e-12
+        assert matroid.is_independent(refined.indices)
+
+
+def test_refine_preserves_part_counts():
+    rng = np.random.default_rng(3)
+    f = instance(rng)
+    matroid = PartitionMatroid([0] * 7 + [1] * 7, [2, 1])
+    greedy = greedy_matroid(f, matroid)
+    refined = local_search_refine(f, matroid, greedy.indices)
+    parts0 = sorted(matroid.part_of[e] for e in greedy.indices)
+    parts1 = sorted(matroid.part_of[e] for e in refined.indices)
+    assert parts0 == parts1  # swaps stay within the part
+
+
+def test_refine_fixes_deliberately_bad_start():
+    """Start from the worst maximal independent set; refinement must reach
+    at least the greedy's value region (and often the optimum)."""
+    rng = np.random.default_rng(4)
+    f = instance(rng, n=10, m=6)
+    matroid = PartitionMatroid([0] * 5 + [1] * 5, [2, 2])
+    # Worst start: pick the elements with minimal singleton value.
+    singles = [f.value([e]) for e in range(10)]
+    worst = sorted(range(5), key=lambda e: singles[e])[:2] + sorted(
+        range(5, 10), key=lambda e: singles[e]
+    )[:2]
+    refined = local_search_refine(f, matroid, worst)
+    best = exhaustive_best(f, matroid)
+    assert refined.value >= 0.5 * best.value - 1e-9
+    assert refined.value >= f.value(worst)
+
+
+def test_refine_rejects_infeasible_start():
+    f = instance(np.random.default_rng(0), n=6, m=4)
+    matroid = PartitionMatroid([0] * 3 + [1] * 3, [1, 1])
+    with pytest.raises(ValueError):
+        local_search_refine(f, matroid, [0, 1])  # two from part 0
+
+
+def test_refine_empty_start():
+    f = instance(np.random.default_rng(0), n=6, m=4)
+    matroid = PartitionMatroid([0] * 3 + [1] * 3, [1, 1])
+    refined = local_search_refine(f, matroid, [])
+    assert refined.indices == [] and refined.value == 0.0

@@ -1,0 +1,111 @@
+"""Tests for Hungarian / Hopcroft–Karp matching (the §8.1 substrate)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.opt import has_perfect_matching, hopcroft_karp, hungarian
+
+
+def brute_min_assignment(cost: np.ndarray) -> float:
+    n = len(cost)
+    return min(sum(cost[i, p[i]] for i in range(n)) for p in itertools.permutations(range(n)))
+
+
+def test_hungarian_simple():
+    cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+    assignment, total = hungarian(cost)
+    assert np.isclose(total, 5.0)
+    assert sorted(assignment.tolist()) == [0, 1, 2]
+
+
+def test_hungarian_identity():
+    cost = np.eye(4) * 10 + 1 - np.eye(4)
+    # Off-diagonal zeros... just check vs scipy below; here diag is expensive.
+    assignment, total = hungarian(cost)
+    assert np.isclose(total, brute_min_assignment(cost))
+
+
+def test_hungarian_empty():
+    assignment, total = hungarian(np.zeros((0, 0)))
+    assert total == 0.0 and len(assignment) == 0
+
+
+def test_hungarian_rejects_non_square():
+    with pytest.raises(ValueError):
+        hungarian(np.zeros((2, 3)))
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+def test_hungarian_matches_scipy(n, seed):
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(0, 10, size=(n, n))
+    assignment, total = hungarian(cost)
+    rows, cols = linear_sum_assignment(cost)
+    assert np.isclose(total, cost[rows, cols].sum(), atol=1e-9)
+    # assignment is a permutation
+    assert sorted(assignment.tolist()) == list(range(n))
+
+
+def test_hungarian_with_forbidden_edges():
+    cost = np.array([[np.inf, 1.0], [1.0, np.inf]])
+    assignment, total = hungarian(cost)
+    assert np.isclose(total, 2.0)
+    assert assignment.tolist() == [1, 0]
+
+
+def test_hungarian_infeasible_returns_inf():
+    cost = np.array([[np.inf, np.inf], [1.0, 1.0]])
+    _assignment, total = hungarian(cost)
+    assert total == float("inf")
+
+
+def test_hopcroft_karp_perfect():
+    adj = np.array([[True, True, False], [True, False, False], [False, True, True]])
+    size, mr, mc = hopcroft_karp(adj)
+    assert size == 3
+    for i, j in enumerate(mr):
+        assert adj[i, j]
+        assert mc[j] == i
+
+
+def test_hopcroft_karp_partial():
+    adj = np.array([[True, False], [True, False]])
+    size, mr, mc = hopcroft_karp(adj)
+    assert size == 1
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10_000))
+def test_hopcroft_karp_maximum_vs_brute(n, seed):
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n)) < 0.4
+
+    def brute_max(adj):
+        best = 0
+        cols = range(adj.shape[1])
+        for size in range(min(adj.shape), 0, -1):
+            for rows in itertools.combinations(range(adj.shape[0]), size):
+                for perm in itertools.permutations(cols, size):
+                    if all(adj[r, c] for r, c in zip(rows, perm)):
+                        return size
+        return 0
+
+    size, _, _ = hopcroft_karp(adj)
+    assert size == brute_max(adj)
+
+
+def test_has_perfect_matching_hall_violation():
+    # Two rows share a single column: Hall's condition fails.
+    adj = np.array([[True, False], [True, False]])
+    assert not has_perfect_matching(adj)
+    adj2 = np.array([[True, False], [True, True]])
+    assert has_perfect_matching(adj2)
+
+
+def test_has_perfect_matching_more_rows_than_cols():
+    assert not has_perfect_matching(np.ones((3, 2), dtype=bool))

@@ -1,0 +1,99 @@
+"""Tests for visibility-graph shortest paths (§8.2 travel substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Polygon, rectangle
+from repro.opt.paths import VisibilityGraph, path_length_matrix, shortest_path_length
+
+
+def test_free_space_is_euclidean():
+    vg = VisibilityGraph([])
+    assert math.isclose(vg.distance((0, 0), (3, 4)), 5.0)
+    assert vg.path((0, 0), (3, 4)) == [(0.0, 0.0), (3.0, 4.0)]
+
+
+def test_detour_around_wall():
+    # Wall between the terminals: the path must go around an end.
+    wall = rectangle(4.0, -5.0, 5.0, 5.0)
+    vg = VisibilityGraph([wall])
+    d = vg.distance((0.0, 0.0), (9.0, 0.0))
+    euclid = 9.0
+    assert d > euclid  # strictly longer
+    # Going over the top corner (4,5)/(5,5): path length via corners.
+    via_top = (
+        math.hypot(4.0, 5.0) + 1.0 + math.hypot(4.0, 5.0)
+    )
+    assert d <= via_top + 0.1
+
+
+def test_path_polyline_valid():
+    wall = rectangle(4.0, -5.0, 5.0, 5.0)
+    vg = VisibilityGraph([wall])
+    pts = vg.path((0.0, 0.0), (9.0, 0.0))
+    assert pts[0] == (0.0, 0.0) and pts[-1] == (9.0, 0.0)
+    assert len(pts) >= 3  # at least one corner
+    # Consecutive waypoints are mutually visible.
+    from repro.geometry import line_of_sight
+
+    for a, b in zip(pts, pts[1:]):
+        assert line_of_sight(a, b, [wall])
+    # Polyline length equals the reported distance.
+    length = sum(math.dist(a, b) for a, b in zip(pts, pts[1:]))
+    assert math.isclose(length, vg.distance((0.0, 0.0), (9.0, 0.0)), rel_tol=1e-9)
+
+
+def test_distance_symmetry_and_triangle_inequality():
+    obstacles = [rectangle(3.0, 3.0, 6.0, 6.0), Polygon([(8.0, 1.0), (10.0, 2.0), (9.0, 4.0)])]
+    vg = VisibilityGraph(obstacles)
+    rng = np.random.default_rng(0)
+    pts = []
+    while len(pts) < 4:
+        p = rng.uniform(0, 12, 2)
+        if not any(h.contains(p) for h in obstacles):
+            pts.append(tuple(p))
+    for a in pts:
+        for b in pts:
+            assert math.isclose(vg.distance(a, b), vg.distance(b, a), rel_tol=1e-9)
+    for a in pts:
+        for b in pts:
+            for c in pts:
+                assert vg.distance(a, c) <= vg.distance(a, b) + vg.distance(b, c) + 1e-9
+
+
+def test_distance_lower_bounded_by_euclidean():
+    obstacles = [rectangle(3.0, 3.0, 6.0, 6.0)]
+    vg = VisibilityGraph(obstacles)
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        a = tuple(rng.uniform(0, 10, 2))
+        b = tuple(rng.uniform(0, 10, 2))
+        if any(h.contains(a) or h.contains(b) for h in obstacles):
+            continue
+        assert vg.distance(a, b) >= math.dist(a, b) - 1e-9
+
+
+def test_one_shot_helper():
+    wall = rectangle(4.0, -5.0, 5.0, 5.0)
+    assert shortest_path_length((0, 0), (9, 0), [wall]) > 9.0
+    assert math.isclose(shortest_path_length((0, 0), (1, 0), []), 1.0)
+
+
+def test_path_length_matrix():
+    obstacles = [rectangle(4.0, -5.0, 5.0, 5.0)]
+    pts = np.array([[0.0, 0.0], [9.0, 0.0], [0.0, 7.0]])
+    m = path_length_matrix(pts, obstacles)
+    assert m.shape == (3, 3)
+    assert np.allclose(np.diag(m), 0.0)
+    assert np.allclose(m, m.T)
+    assert m[0, 1] > 9.0  # detour
+    assert math.isclose(m[0, 2], 7.0)  # clear line
+
+
+def test_skeleton_size():
+    vg = VisibilityGraph([rectangle(0, 0, 1, 1)])
+    nodes, edges = vg.skeleton_size
+    assert nodes == 4
+    assert edges >= 4  # the four sides are mutually visible along edges

@@ -1,0 +1,73 @@
+"""Tests for LPT scheduling (Graham's bound, used by §5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.opt import Schedule, brute_force_makespan, lpt_schedule, makespan
+
+
+def test_lpt_basic():
+    # The classical LPT worst-ish case: OPT = 6, LPT = 7 (within 4/3 bound).
+    s = lpt_schedule([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+    assert np.isclose(s.makespan, 7.0)
+    assert len(s.assignment) == 5
+    assert np.isclose(sum(s.loads), 12.0)
+
+
+def test_lpt_single_machine():
+    s = lpt_schedule([1.0, 2.0, 3.0], 1)
+    assert np.isclose(s.makespan, 6.0)
+
+
+def test_lpt_more_machines_than_tasks():
+    s = lpt_schedule([5.0, 1.0], 4)
+    assert np.isclose(s.makespan, 5.0)
+
+
+def test_lpt_empty():
+    s = lpt_schedule([], 3)
+    assert s.makespan == 0.0
+
+
+def test_lpt_validation():
+    with pytest.raises(ValueError):
+        lpt_schedule([1.0], 0)
+    with pytest.raises(ValueError):
+        lpt_schedule([-1.0], 2)
+
+
+def test_tasks_of_partition():
+    s = lpt_schedule([4.0, 3.0, 2.0, 1.0], 2)
+    all_tasks = sorted(t for m in range(2) for t in s.tasks_of(m))
+    assert all_tasks == [0, 1, 2, 3]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=7),
+    st.integers(min_value=1, max_value=3),
+)
+def test_lpt_within_graham_bound(durations, m):
+    """LPT makespan <= (4/3 - 1/(3m)) * OPT (Graham 1969)."""
+    opt = brute_force_makespan(durations, m)
+    got = makespan(durations, m)
+    assert got <= (4.0 / 3.0 - 1.0 / (3.0 * m)) * opt + 1e-9
+    assert got >= opt - 1e-9  # cannot beat the optimum
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=5),
+)
+def test_lpt_lower_bounds(durations, m):
+    got = makespan(durations, m)
+    assert got >= max(durations) - 1e-12
+    assert got >= sum(durations) / m - 1e-9
+
+
+def test_makespan_monotone_in_machines():
+    dur = [5.0, 4.0, 3.0, 2.0, 1.0, 1.0]
+    spans = [makespan(dur, m) for m in range(1, 7)]
+    assert all(a >= b - 1e-12 for a, b in zip(spans, spans[1:]))

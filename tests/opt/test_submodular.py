@@ -1,0 +1,210 @@
+"""Tests for the submodular objective and greedy solvers (Lemma 4.6, Thm 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.opt import (
+    ChargingUtilityObjective,
+    PartitionMatroid,
+    ProportionalFairnessObjective,
+    UniformMatroid,
+    exhaustive_best,
+    greedy_matroid,
+    lazy_greedy_matroid,
+)
+
+
+def random_instance(rng, n=8, m=5):
+    P = rng.uniform(0.0, 0.06, size=(n, m))
+    P[rng.random((n, m)) < 0.5] = 0.0
+    th = np.full(m, 0.05)
+    return P, th
+
+
+small_floats = st.floats(min_value=0.0, max_value=0.2)
+
+
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        ChargingUtilityObjective(np.zeros((2, 3)), np.zeros(2))  # wrong threshold length
+    with pytest.raises(ValueError):
+        ChargingUtilityObjective(np.zeros((2, 3)), np.zeros(3))  # non-positive thresholds
+    with pytest.raises(ValueError):
+        ChargingUtilityObjective(np.zeros(3), np.ones(3))  # 1-D matrix
+
+
+def test_objective_value_basic():
+    P = np.array([[0.05, 0.0], [0.0, 0.025]])
+    th = np.array([0.05, 0.05])
+    f = ChargingUtilityObjective(P, th)
+    assert f.value([]) == 0.0
+    assert np.isclose(f.value([0]), 0.5)  # one device saturated / 2 devices
+    assert np.isclose(f.value([0, 1]), 0.75)
+
+
+def test_objective_normalized_monotone_submodular_properties():
+    rng = np.random.default_rng(0)
+    P, th = random_instance(rng)
+    f = ChargingUtilityObjective(P, th)
+    n = P.shape[0]
+    # Normalized
+    assert f.value([]) == 0.0
+    for trial in range(50):
+        A = set(int(i) for i in rng.choice(n, size=rng.integers(0, 4), replace=False))
+        extra = set(int(i) for i in rng.choice(n, size=rng.integers(0, 3), replace=False))
+        B = A | extra
+        candidates = [e for e in range(n) if e not in B]
+        if not candidates:
+            continue
+        e = int(rng.choice(candidates))
+        fa, fb = f.value(A), f.value(B)
+        fae, fbe = f.value(A | {e}), f.value(B | {e})
+        # Monotone
+        assert fae >= fa - 1e-12 and fbe >= fb - 1e-12
+        # Submodular (diminishing returns)
+        assert (fae - fa) >= (fbe - fb) - 1e-12
+
+
+def test_proportional_fairness_also_submodular():
+    rng = np.random.default_rng(1)
+    P, th = random_instance(rng)
+    f = ProportionalFairnessObjective(P, th)
+    assert f.value([]) == 0.0
+    for trial in range(30):
+        A = set(int(i) for i in rng.choice(8, size=2, replace=False))
+        B = A | {int(rng.integers(0, 8))}
+        e = next(i for i in range(8) if i not in B)
+        assert (f.value(A | {e}) - f.value(A)) >= (f.value(B | {e}) - f.value(B)) - 1e-12
+
+
+def test_gains_matches_value_difference():
+    rng = np.random.default_rng(2)
+    P, th = random_instance(rng)
+    f = ChargingUtilityObjective(P, th)
+    subset = [0, 3]
+    current = P[subset].sum(axis=0)
+    pool = np.array([1, 2, 5])
+    gains = f.gains(current, pool)
+    for g, e in zip(gains, pool):
+        assert np.isclose(g, f.value(subset + [int(e)]) - f.value(subset))
+
+
+def test_greedy_respects_partition_budgets():
+    rng = np.random.default_rng(3)
+    P, th = random_instance(rng, n=9)
+    f = ChargingUtilityObjective(P, th)
+    m = PartitionMatroid([0, 0, 0, 1, 1, 1, 2, 2, 2], [1, 2, 0])
+    res = greedy_matroid(f, m)
+    assert m.is_independent(res.indices)
+    parts = [sum(1 for e in res.indices if q == m.part_of[e]) for q in range(3)]
+    assert parts[2] == 0 and parts[0] <= 1 and parts[1] <= 2
+
+
+def test_greedy_half_optimal_vs_exhaustive():
+    rng = np.random.default_rng(4)
+    for trial in range(10):
+        P, th = random_instance(rng, n=7, m=4)
+        f = ChargingUtilityObjective(P, th)
+        m = PartitionMatroid([0, 0, 0, 0, 1, 1, 1], [2, 1])
+        greedy = greedy_matroid(f, m)
+        best = exhaustive_best(f, m)
+        assert greedy.value >= 0.5 * best.value - 1e-9
+        assert greedy.value <= best.value + 1e-12
+
+
+def test_greedy_part_order_mode():
+    rng = np.random.default_rng(5)
+    P, th = random_instance(rng, n=9)
+    f = ChargingUtilityObjective(P, th)
+    m = PartitionMatroid([0, 0, 0, 1, 1, 1, 2, 2, 2], [1, 1, 1])
+    res = greedy_matroid(f, m, part_order=[0, 1, 2])
+    assert m.is_independent(res.indices)
+    assert res.value > 0.0
+    with pytest.raises(TypeError):
+        greedy_matroid(f, UniformMatroid(9, 3), part_order=[0])
+
+
+def test_lazy_greedy_matches_full_scan():
+    rng = np.random.default_rng(6)
+    for trial in range(10):
+        P, th = random_instance(rng, n=10, m=6)
+        f = ChargingUtilityObjective(P, th)
+        m = PartitionMatroid([0] * 5 + [1] * 5, [2, 2])
+        full = greedy_matroid(f, m)
+        lazy = lazy_greedy_matroid(f, m)
+        assert np.isclose(full.value, lazy.value, atol=1e-12)
+        # CELF should not evaluate more than the full scan.
+        assert lazy.evaluations <= full.evaluations
+
+
+def test_lazy_greedy_fewer_evaluations_on_larger_instance():
+    rng = np.random.default_rng(7)
+    P, th = random_instance(rng, n=200, m=20)
+    f = ChargingUtilityObjective(P, th)
+    m = PartitionMatroid([0] * 100 + [1] * 100, [5, 5])
+    full = greedy_matroid(f, m)
+    lazy = lazy_greedy_matroid(f, m)
+    assert np.isclose(full.value, lazy.value, atol=1e-9)
+    assert lazy.evaluations < full.evaluations
+
+
+def test_greedy_skips_zero_gain_candidates():
+    P = np.zeros((3, 2))
+    th = np.ones(2)
+    f = ChargingUtilityObjective(P, th)
+    res = greedy_matroid(f, PartitionMatroid([0, 0, 0], [3]))
+    assert res.indices == []
+    assert res.value == 0.0
+
+
+def test_greedy_mismatched_matroid_rejected():
+    P = np.zeros((3, 2))
+    f = ChargingUtilityObjective(P, np.ones(2))
+    with pytest.raises(ValueError):
+        greedy_matroid(f, PartitionMatroid([0, 0], [2]))
+
+
+def test_empty_candidate_set():
+    f = ChargingUtilityObjective(np.zeros((0, 3)), np.ones(3))
+    res = greedy_matroid(f, PartitionMatroid([], [1]))
+    assert res.indices == [] and res.value == 0.0
+    lazy = lazy_greedy_matroid(f, PartitionMatroid([], [1]))
+    assert lazy.indices == []
+
+
+def test_stochastic_greedy_feasible_and_competitive():
+    from repro.opt import stochastic_greedy_matroid
+
+    rng = np.random.default_rng(11)
+    P, th = random_instance(rng, n=120, m=12)
+    f = ChargingUtilityObjective(P, th)
+    m = PartitionMatroid([0] * 60 + [1] * 60, [4, 4])
+    full = greedy_matroid(f, m)
+    stoch = stochastic_greedy_matroid(f, m, np.random.default_rng(0), sample_fraction=0.3)
+    assert m.is_independent(stoch.indices)
+    assert stoch.value >= 0.7 * full.value
+    assert stoch.evaluations < full.evaluations
+
+
+def test_stochastic_greedy_full_fraction_matches_greedy_value():
+    from repro.opt import stochastic_greedy_matroid
+
+    rng = np.random.default_rng(12)
+    P, th = random_instance(rng, n=30, m=8)
+    f = ChargingUtilityObjective(P, th)
+    m = PartitionMatroid([0] * 15 + [1] * 15, [3, 3])
+    full = greedy_matroid(f, m)
+    stoch = stochastic_greedy_matroid(f, m, np.random.default_rng(0), sample_fraction=1.0)
+    assert np.isclose(stoch.value, full.value, atol=1e-12)
+
+
+def test_stochastic_greedy_validation():
+    from repro.opt import stochastic_greedy_matroid
+
+    f = ChargingUtilityObjective(np.zeros((3, 2)), np.ones(2))
+    m = PartitionMatroid([0, 0, 0], [2])
+    with pytest.raises(ValueError):
+        stochastic_greedy_matroid(f, m, np.random.default_rng(0), sample_fraction=0.0)
+    res = stochastic_greedy_matroid(f, m, np.random.default_rng(0))
+    assert res.indices == []  # all-zero gains terminate cleanly

@@ -1,0 +1,130 @@
+"""Tests for TSP heuristics (§8.2 travel-cost substrate)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.opt import mtsp_split, nearest_neighbor_tour, plan_tour, tour_length, two_opt
+
+
+def brute_optimal(points):
+    n = len(points)
+    best = math.inf
+    for perm in itertools.permutations(range(1, n)):
+        best = min(best, tour_length(points, [0, *perm]))
+    return best
+
+
+def test_tour_length_square():
+    pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+    assert math.isclose(tour_length(pts, [0, 1, 2, 3]), 4.0)
+    assert math.isclose(tour_length(pts, [0, 1, 2, 3], closed=False), 3.0)
+
+
+def test_tour_length_trivial():
+    pts = np.array([[0, 0], [1, 0]], dtype=float)
+    assert tour_length(pts, [0]) == 0.0
+    assert math.isclose(tour_length(pts, [0, 1]), 2.0)
+
+
+def test_nearest_neighbor_visits_all():
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 10, (12, 2))
+    tour = nearest_neighbor_tour(pts)
+    assert sorted(tour) == list(range(12))
+
+
+def test_nearest_neighbor_empty():
+    assert nearest_neighbor_tour(np.zeros((0, 2))) == []
+
+
+def test_two_opt_never_worse():
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        pts = rng.uniform(0, 10, (10, 2))
+        nn = nearest_neighbor_tour(pts)
+        improved = two_opt(pts, nn)
+        assert sorted(improved) == list(range(10))
+        assert tour_length(pts, improved) <= tour_length(pts, nn) + 1e-9
+
+
+def test_two_opt_untangles_crossing():
+    # Square visited in crossing order 0-2-1-3; 2-opt should fix it.
+    pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+    improved = two_opt(pts, [0, 2, 1, 3])
+    assert math.isclose(tour_length(pts, improved), 4.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=4, max_value=7), st.integers(min_value=0, max_value=1000))
+def test_plan_tour_near_optimal_small(n, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 10, (n, 2))
+    _tour, length = plan_tour(pts)
+    opt = brute_optimal(pts)
+    assert length >= opt - 1e-9
+    # NN + 2-opt is a decent heuristic on tiny instances.
+    assert length <= 1.5 * opt + 1e-9
+
+
+def test_mtsp_split_assigns_every_point_once():
+    rng = np.random.default_rng(2)
+    pts = rng.uniform(0, 10, (15, 2))
+    bases = np.array([[0.0, 0.0], [10.0, 10.0]])
+    groups = mtsp_split(pts, bases)
+    flat = sorted(i for g in groups for i in g)
+    assert flat == list(range(15))
+
+
+def test_mtsp_split_respects_proximity():
+    pts = np.array([[1.0, 1.0], [9.0, 9.0]])
+    bases = np.array([[0.0, 0.0], [10.0, 10.0]])
+    groups = mtsp_split(pts, bases)
+    assert groups[0] == [0] and groups[1] == [1]
+
+
+def test_mtsp_split_edge_cases():
+    with pytest.raises(ValueError):
+        mtsp_split(np.zeros((2, 2)), np.zeros((0, 2)))
+    groups = mtsp_split(np.zeros((0, 2)), np.array([[0.0, 0.0]]))
+    assert groups == [[]]
+
+
+def test_matrix_variants_match_point_variants():
+    rng = np.random.default_rng(5)
+    pts = rng.uniform(0, 10, (9, 2))
+    dist = np.hypot(
+        pts[:, None, 0] - pts[None, :, 0], pts[:, None, 1] - pts[None, :, 1]
+    )
+    from repro.opt import (
+        nearest_neighbor_tour_matrix,
+        plan_tour_matrix,
+        tour_length_matrix,
+        two_opt_matrix,
+    )
+
+    nn_p = nearest_neighbor_tour(pts)
+    nn_m = nearest_neighbor_tour_matrix(dist)
+    assert nn_p == nn_m
+    assert math.isclose(tour_length(pts, nn_p), tour_length_matrix(dist, nn_m), rel_tol=1e-12)
+    t_p = two_opt(pts, nn_p)
+    t_m = two_opt_matrix(dist, nn_m)
+    assert math.isclose(tour_length(pts, t_p), tour_length_matrix(dist, t_m), rel_tol=1e-12)
+    _tp, lp = plan_tour(pts)
+    _tm, lm = plan_tour_matrix(dist)
+    assert math.isclose(lp, lm, rel_tol=1e-12)
+
+
+def test_matrix_tour_with_detour_distances():
+    """The matrix variants accept non-Euclidean (obstacle-aware) metrics."""
+    from repro.opt import plan_tour_matrix
+
+    # A 3-node metric where the direct 0-2 hop is expensive (detour).
+    dist = np.array([[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]])
+    tour, length = plan_tour_matrix(dist, start=0)
+    assert sorted(tour) == [0, 1, 2]
+    # Closed tour must include the expensive leg once: 1 + 1 + 10.
+    assert math.isclose(length, 12.0)

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_solve_small(capsys, tmp_path):
+    svg = tmp_path / "map.svg"
+    rc = main(
+        [
+            "solve",
+            "--seed",
+            "3",
+            "--devices",
+            "1",
+            "--chargers",
+            "1",
+            "--map",
+            "--svg",
+            str(svg),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "charging utility" in out
+    assert "charger-" in out
+    assert svg.exists() and svg.read_text().startswith("<svg")
+
+
+def test_compare_small(capsys):
+    rc = main(["compare", "--seed", "3", "--devices", "1", "--chargers", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "HIPO" in out and "RPAR" in out
+
+
+def test_figure_fig12_csv(capsys, tmp_path):
+    # fig12 only extracts candidates (no solves) so it is the fastest figure;
+    # monkeypatching the grid keeps this a smoke test.
+    csv = tmp_path / "series.csv"
+    import repro.experiments.figures as figures
+
+    orig = figures.fig12_distributed_time
+
+    def tiny(repeats=1, **kw):
+        return orig(multiples=(1,), machines=(2,), repeats=1)
+
+    figures.fig12_distributed_time = tiny
+    try:
+        rc = main(["figure", "fig12", "--csv", str(csv)])
+    finally:
+        figures.fig12_distributed_time = orig
+    assert rc == 0
+    assert "Non-Dis" in capsys.readouterr().out
+    assert csv.exists()
+
+
+def test_solve_save_load_validate(capsys, tmp_path):
+    saved = tmp_path / "scenario.json"
+    rc = main(["solve", "--seed", "5", "--devices", "1", "--chargers", "1", "--save", str(saved)])
+    assert rc == 0 and saved.exists()
+    capsys.readouterr()
+    # Re-solve the saved scenario.
+    rc = main(["solve", "--load", str(saved)])
+    assert rc == 0
+    assert "charging utility" in capsys.readouterr().out
+    # Validate it.
+    rc = main(["validate", str(saved), "--no-reachability"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "OK" in out or "warning" in out
+
+
+def test_validate_flags_broken_scenario(capsys, tmp_path):
+    import json
+
+    from repro.experiments import small_scenario
+    from repro.io import scenario_to_dict
+    import numpy as np
+
+    sc = small_scenario(np.random.default_rng(0), num_devices=3)
+    data = scenario_to_dict(sc)
+    data["devices"][0]["position"] = [9.5, 9.5]  # inside the 8-11 obstacle
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(data))
+    rc = main(["validate", str(path), "--no-reachability"])
+    assert rc == 1
+    assert "device-in-obstacle" in capsys.readouterr().out

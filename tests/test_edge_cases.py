@@ -1,0 +1,114 @@
+"""Edge-case tests for paths not covered by the module suites."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import SeriesTable, render_svg
+from repro.geometry import SectorRing, polar_offset, rectangle
+from repro.model import ChargerType, DeviceType, Strategy
+
+from conftest import simple_scenario
+
+
+def test_svg_reflex_aperture_sector():
+    """Charging sectors wider than pi need the SVG large-arc flag."""
+    sc = simple_scenario([(10.0, 10.0)], charger_angle=1.5 * math.pi)
+    ct = sc.charger_types[0]
+    svg = render_svg(sc, [Strategy((10.0, 10.0), 0.0, ct)])
+    # Large-arc flag set on the outer arc.
+    assert " 1 1 " in svg
+
+
+def test_svg_empty_scenario_obstacle_only():
+    sc = simple_scenario([(10.0, 10.0)], obstacles=[rectangle(2, 2, 4, 4)]).with_devices([])
+    svg = render_svg(sc)
+    assert "<polygon" in svg and "<circle" not in svg
+
+
+def test_sector_ring_reflex_half_angle_contains():
+    ring = SectorRing((0.0, 0.0), 0.0, 0.9 * math.pi, 1.0, 4.0)
+    # Almost everything except a thin wedge behind is covered.
+    assert ring.contains(polar_offset((0, 0), 0.8 * math.pi, 2.0))
+    assert not ring.contains(polar_offset((0, 0), math.pi, 2.0))
+
+
+def test_series_table_long_labels_alignment():
+    t = SeriesTable("a very long x axis label indeed", [1])
+    t.add("short", [0.5])
+    lines = t.format().splitlines()
+    # Header and row columns line up despite the long label.
+    assert lines[0].index("short") > len("a very long x axis label indeed")
+
+
+def test_charger_type_scaled_identity():
+    ct = ChargerType("x", math.pi / 3, 2.0, 7.0)
+    s = ct.scaled()
+    assert s == ct
+
+
+def test_device_receiving_ring_narrow_type():
+    from repro.model import Device
+
+    dt = DeviceType("narrow", math.pi / 12)
+    d = Device((0.0, 0.0), 0.0, dt, 0.1)
+    ct = ChargerType("c", math.pi / 2, 1.0, 5.0)
+    ring = d.receiving_ring(ct)
+    assert ring.contains((3.0, 0.0))
+    assert not ring.contains((0.0, 3.0))
+
+
+def test_ant_colony_zero_capacity_part(rng):
+    from repro.opt import ant_colony
+
+    res = ant_colony(lambda idx: float(len(idx)), [0, 0, 1, 1], [0, 1], rng, ants=4, iterations=5)
+    assert all(e >= 2 for e in res.indices)
+    assert len(res.indices) == 1
+
+
+def test_pso_single_member_parts(rng):
+    from repro.opt import particle_swarm
+
+    res = particle_swarm(lambda idx: float(sum(idx)), [0, 1], [1, 1], rng, particles=4, iterations=5)
+    assert sorted(res.indices) == [0, 1]
+
+
+def test_evaluator_multiple_types_distinct_coefficients():
+    from repro.model import CoefficientTable, Device, PairCoefficients, PowerEvaluator
+
+    ct1 = ChargerType("c1", math.pi / 2, 1.0, 6.0)
+    ct2 = ChargerType("c2", math.pi / 2, 1.0, 6.0)
+    dt = DeviceType("d", 2 * math.pi)
+    table = CoefficientTable(
+        {("c1", "d"): PairCoefficients(100.0, 5.0), ("c2", "d"): PairCoefficients(200.0, 5.0)}
+    )
+    ev = PowerEvaluator([Device((3.0, 0.0), 0.0, dt, 0.1)], [], table, [ct1, ct2])
+    p1 = ev.power_vector(Strategy((0.0, 0.0), 0.0, ct1))[0]
+    p2 = ev.power_vector(Strategy((0.0, 0.0), 0.0, ct2))[0]
+    assert math.isclose(p2, 2.0 * p1, rel_tol=1e-12)
+
+
+def test_candidate_generator_empty_devices():
+    from repro.core import CandidateGenerator
+
+    sc = simple_scenario([(10.0, 10.0)]).with_devices([])
+    gen = CandidateGenerator(sc)
+    assert gen.positions(sc.charger_types[0]).shape == (0, 2)
+
+
+def test_solve_hipo_no_devices():
+    from repro import solve_hipo
+
+    sc = simple_scenario([(10.0, 10.0)]).with_devices([])
+    sol = solve_hipo(sc)
+    assert sol.strategies == []
+    assert sol.utility == 0.0
+
+
+def test_cli_figure_all_names_registered():
+    from repro.cli import FIGURES, build_parser
+
+    for name in FIGURES:
+        args = build_parser().parse_args(["figure", name])
+        assert args.name == name

@@ -1,0 +1,211 @@
+"""End-to-end integration tests across the full pipeline.
+
+These check the paper's headline claims on seeded, downsized instances:
+HIPO beats every baseline (on average), the extracted candidate set
+dominates arbitrary strategies (Theorem 4.1), and the full solve composes
+with the §8 extensions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import solve_hipo
+from repro.baselines import ALGORITHMS, BASELINES
+from repro.core import CandidateGenerator, build_candidate_set
+from repro.extensions import redeploy
+from repro.geometry import TWO_PI
+from repro.model import Strategy
+from repro.experiments import small_scenario
+
+from conftest import simple_scenario
+
+
+def test_hipo_beats_every_baseline_on_average():
+    """§6 headline: HIPO outperforms all eight comparison algorithms."""
+    totals = {name: 0.0 for name in ALGORITHMS}
+    seeds = (0, 1, 2)
+    for seed in seeds:
+        sc = small_scenario(np.random.default_rng(seed), num_devices=8)
+        for name, algo in ALGORITHMS.items():
+            totals[name] += sc.utility_of(algo(sc, np.random.default_rng(seed + 100)))
+    hipo = totals.pop("HIPO")
+    for name, total in totals.items():
+        assert hipo >= total - 1e-9, f"HIPO lost to {name}: {hipo} vs {total}"
+
+
+def test_hipo_beats_rpar_by_wide_margin():
+    sc = small_scenario(np.random.default_rng(3), num_devices=8)
+    hipo = sc.utility_of(ALGORITHMS["HIPO"](sc, np.random.default_rng(0)))
+    rpar = np.mean(
+        [sc.utility_of(ALGORITHMS["RPAR"](sc, np.random.default_rng(s))) for s in range(5)]
+    )
+    assert hipo > rpar
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_theorem_4_1_dominance_over_random_strategies(seed):
+    """For ANY strategy, some candidate strategy approximately-dominates it:
+    the greedy's candidate pool achieves at least the random strategy's
+    covered set utility at comparable approximated power.
+
+    We verify the covered-set dominance form: for a random feasible strategy
+    s, there exists an extracted candidate covering a superset of s's
+    covered devices (obstacle-free scene, single type)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(3.0, 17.0, size=(5, 2))
+    sc = simple_scenario(
+        [tuple(p) for p in pts],
+        device_orientations=rng.uniform(0, TWO_PI, 5).tolist(),
+        device_angle=2.0 * math.pi,
+        charger_angle=math.pi / 2,
+        budget=1,
+    )
+    cs = build_candidate_set(sc)
+    ev = sc.evaluator()
+    candidate_sets = [
+        frozenset(int(j) for j in np.nonzero(row)[0]) for row in cs.exact_power
+    ]
+    ct = sc.charger_types[0]
+    for _ in range(60):
+        pos = rng.uniform(0.0, 20.0, 2)
+        theta = rng.uniform(0.0, TWO_PI)
+        s = Strategy((pos[0], pos[1]), theta, ct)
+        covered = frozenset(int(j) for j in np.nonzero(ev.power_vector(s))[0])
+        if not covered:
+            continue
+        assert any(covered <= c for c in candidate_sets), (
+            f"no candidate dominates {covered} at {pos}, {theta}"
+        )
+
+
+def test_full_pipeline_with_obstacles_and_heterogeneity():
+    sc = small_scenario(np.random.default_rng(7), num_devices=10)
+    sol = solve_hipo(sc, keep_candidates=True)
+    assert 0.0 < sol.utility <= 1.0
+    # Budgets respected per type.
+    counts = {}
+    for s in sol.strategies:
+        counts[s.ctype.name] = counts.get(s.ctype.name, 0) + 1
+    for name, c in counts.items():
+        assert c <= sc.budgets[name]
+    # No charger placed inside an obstacle.
+    for s in sol.strategies:
+        assert sc.is_free(s.position)
+    # Approximated utility within (1 + eps1) of exact for the same set
+    # (Lemma 4.3: exact >= approx and exact/approx <= 1+eps1 per device).
+    assert sol.utility >= sol.approx_utility - 1e-12
+
+
+def test_greedy_utility_dominates_each_single_candidate():
+    sc = small_scenario(np.random.default_rng(8), num_devices=6)
+    sol = solve_hipo(sc, keep_candidates=True)
+    cs = sol.candidate_set
+    ev = sc.evaluator()
+    for k in range(0, cs.num_candidates, max(1, cs.num_candidates // 50)):
+        single = float(np.minimum(1.0, cs.approx_power[k] / ev.thresholds).mean())
+        assert sol.approx_utility >= single - 1e-9
+
+
+def test_redeployment_between_two_topologies():
+    """§8.1 end-to-end: solve two topologies, plan the transfer."""
+    sc1 = small_scenario(np.random.default_rng(10), num_devices=6)
+    sol1 = solve_hipo(sc1)
+    sc2 = sc1.with_devices(
+        small_scenario(np.random.default_rng(11), num_devices=6).devices
+    )
+    sol2 = solve_hipo(sc2)
+
+    def by_type(strats):
+        out = {}
+        for s in strats:
+            out.setdefault(s.ctype.name, []).append(s)
+        return out
+
+    old, new = by_type(sol1.strategies), by_type(sol2.strategies)
+    # Equalize the type sets (greedy may skip a type in one topology).
+    common = set(old) & set(new)
+    old = {k: old[k] for k in common if len(old[k]) == len(new[k])}
+    new = {k: new[k] for k in old}
+    if not old:
+        pytest.skip("no common type with equal counts in this seed")
+    total_plan = redeploy(old, new, objective="total")
+    max_plan = redeploy(old, new, objective="max")
+    assert max_plan.max_overhead <= total_plan.max_overhead + 1e-9
+    assert total_plan.total_overhead <= max_plan.total_overhead + 1e-9
+
+
+def test_candidate_generator_shared_across_solves():
+    """Reusing one generator for repeated solves keeps results identical."""
+    sc = small_scenario(np.random.default_rng(12), num_devices=5)
+    gen = CandidateGenerator(sc)
+    s1 = solve_hipo(sc, generator=gen)
+    s2 = solve_hipo(sc, generator=gen)
+    assert s1.utility == s2.utility
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_theorem_4_1_dominance_with_obstacles(seed):
+    """Theorem 4.1 with obstacles: the hole rays and obstacle edges in the
+    boundary set keep the extracted candidates dominating — for any feasible
+    strategy on an obstacle scene, some candidate covers a superset."""
+    from repro.geometry import rectangle
+
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(3.0, 17.0, size=(4, 2))
+    sc = simple_scenario(
+        [tuple(p) for p in pts],
+        device_orientations=rng.uniform(0, TWO_PI, 4).tolist(),
+        device_angle=2.0 * math.pi,
+        charger_angle=math.pi / 2,
+        budget=1,
+        obstacles=[rectangle(8.0, 8.0, 12.0, 11.0)],
+    )
+    cs = build_candidate_set(sc)
+    ev = sc.evaluator()
+    candidate_sets = [
+        frozenset(int(j) for j in np.nonzero(row)[0]) for row in cs.exact_power
+    ]
+    ct = sc.charger_types[0]
+    checked = 0
+    for _ in range(80):
+        pos = rng.uniform(0.0, 20.0, 2)
+        if not sc.is_free(pos):
+            continue
+        s = Strategy((float(pos[0]), float(pos[1])), float(rng.uniform(0, TWO_PI)), ct)
+        covered = frozenset(int(j) for j in np.nonzero(ev.power_vector(s))[0])
+        if not covered:
+            continue
+        checked += 1
+        assert any(covered <= c for c in candidate_sets), (pos, covered)
+    assert checked > 5  # the probe actually exercised coverage
+
+
+@pytest.mark.parametrize("seed", [0, 1, 4, 6])
+def test_theorem_4_1_dominance_with_narrow_receivers(seed):
+    """Dominance with narrow heterogeneous receiving cones: the cone-edge
+    rays in the boundary set matter here (a strategy covering a device must
+    sit inside that device's receiving sector)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(3.0, 17.0, size=(4, 2))
+    sc = simple_scenario(
+        [tuple(p) for p in pts],
+        device_orientations=rng.uniform(0, TWO_PI, 4).tolist(),
+        device_angle=2.0 * math.pi / 3.0,
+        charger_angle=math.pi / 3,
+        budget=1,
+    )
+    cs = build_candidate_set(sc)
+    ev = sc.evaluator()
+    candidate_sets = [
+        frozenset(int(j) for j in np.nonzero(row)[0]) for row in cs.exact_power
+    ]
+    ct = sc.charger_types[0]
+    for _ in range(120):
+        pos = rng.uniform(0.0, 20.0, 2)
+        s = Strategy((float(pos[0]), float(pos[1])), float(rng.uniform(0, TWO_PI)), ct)
+        covered = frozenset(int(j) for j in np.nonzero(ev.power_vector(s))[0])
+        if not covered:
+            continue
+        assert any(covered <= c for c in candidate_sets), (pos, covered)

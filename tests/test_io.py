@@ -1,0 +1,84 @@
+"""Tests for scenario/placement JSON serialization."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    strategies_from_list,
+    strategies_to_list,
+)
+from repro.model import Strategy
+from repro.experiments import random_scenario, small_scenario
+
+
+def test_round_trip_scenario(rng):
+    sc = small_scenario(rng, num_devices=5)
+    data = scenario_to_dict(sc)
+    sc2, strategies = scenario_from_dict(data)
+    assert strategies == []
+    assert sc2.bounds == sc.bounds
+    assert sc2.budgets == sc.budgets
+    assert len(sc2.devices) == len(sc.devices)
+    for a, b in zip(sc.devices, sc2.devices):
+        assert a.position == b.position
+        assert math.isclose(a.orientation, b.orientation)
+        assert a.dtype.name == b.dtype.name
+        assert a.threshold == b.threshold
+    assert len(sc2.obstacles) == len(sc.obstacles)
+    for ha, hb in zip(sc.obstacles, sc2.obstacles):
+        assert np.allclose(ha.vertices, hb.vertices)
+    # Coefficient table preserved.
+    for key, pc in sc.table.entries.items():
+        assert sc2.table.entries[key].a == pc.a
+
+
+def test_round_trip_utility_identical(rng):
+    """The reloaded scenario scores placements identically."""
+    sc = small_scenario(rng, num_devices=6)
+    ct = sc.charger_types[0]
+    strategies = [Strategy((5.0, 5.0), 1.0, ct), Strategy((12.0, 12.0), 4.0, ct)]
+    data = scenario_to_dict(sc, strategies)
+    sc2, strategies2 = scenario_from_dict(data)
+    assert math.isclose(sc.utility_of(strategies), sc2.utility_of(strategies2), rel_tol=1e-12)
+
+
+def test_save_load_file(tmp_path, rng):
+    sc = random_scenario(rng, device_multiple=1)
+    path = tmp_path / "scenario.json"
+    ct = sc.charger_types[0]
+    save_scenario(str(path), sc, [Strategy((5.0, 5.0), 0.5, ct)])
+    sc2, strategies = load_scenario(str(path))
+    assert sc2.num_devices == sc.num_devices
+    assert len(strategies) == 1
+    assert strategies[0].ctype.name == ct.name
+    # File is valid JSON.
+    json.loads(path.read_text())
+
+
+def test_strategy_list_round_trip():
+    from repro.experiments import default_charger_types
+
+    cts = {ct.name: ct for ct in default_charger_types()}
+    strategies = [Strategy((1.0, 2.0), 0.7, cts["charger-1"])]
+    items = strategies_to_list(strategies)
+    back = strategies_from_list(items, cts)
+    assert back == strategies
+
+
+def test_unknown_charger_type_rejected():
+    with pytest.raises(ValueError):
+        strategies_from_list([{"position": [0, 0], "orientation": 0.0, "type": "nope"}], {})
+
+
+def test_unknown_version_rejected(rng):
+    data = scenario_to_dict(small_scenario(rng))
+    data["version"] = 99
+    with pytest.raises(ValueError):
+        scenario_from_dict(data)

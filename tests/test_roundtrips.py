@@ -1,0 +1,60 @@
+"""Cross-module round trips on non-trivial instances."""
+
+import numpy as np
+
+from repro.experiments import cluttered_scenario, field_scenario, render_svg
+from repro.io import scenario_from_dict, scenario_to_dict
+
+
+def test_io_round_trip_cluttered_nonconvex(rng):
+    """JSON round trip preserves star-shaped (non-convex) obstacles and the
+    utility of an arbitrary placement."""
+    sc = cluttered_scenario(rng, num_obstacles=3, clusters=2, per_cluster=3)
+    sc2, _ = scenario_from_dict(scenario_to_dict(sc))
+    assert len(sc2.obstacles) == 3
+    for a, b in zip(sc.obstacles, sc2.obstacles):
+        assert np.allclose(a.vertices, b.vertices)
+        assert np.isclose(a.area, b.area)
+    from repro.model import Strategy
+
+    ct = sc.charger_types[0]
+    strategies = [Strategy((20.0, 20.0), 1.0, ct)]
+    assert np.isclose(sc.utility_of(strategies), sc2.utility_of(strategies))
+
+
+def test_io_round_trip_field_scenario():
+    sc = field_scenario()
+    sc2, _ = scenario_from_dict(scenario_to_dict(sc))
+    assert sc2.num_devices == 10
+    assert sc2.budgets == {"tb-1w": 1, "tb-2w": 2, "tx91501-3w": 3}
+    # Heterogeneous coefficient table intact.
+    assert sc2.table.get("tx91501-3w", "sensor-b").a == sc.table.get("tx91501-3w", "sensor-b").a
+
+
+def test_svg_renders_field_scenario_with_receiving_areas():
+    svg = render_svg(field_scenario(), show_receiving_areas=True)
+    assert svg.count("<circle") == 10
+    assert svg.count("<polygon") == 3
+
+
+def test_generators_compose_with_validation(rng):
+    from repro.model import validate_scenario
+
+    sc = cluttered_scenario(rng, num_obstacles=2, clusters=2, per_cluster=3)
+    report = validate_scenario(sc, check_reachability=False)
+    assert report.ok
+
+
+def test_candidate_positions_permutation_invariant(rng):
+    """Device ordering must not change the candidate position set (the
+    pairwise construction is symmetric and the union covers all tasks)."""
+    from conftest import simple_scenario
+    from repro.core import CandidateGenerator
+
+    pts = [(4.0, 4.0), (10.0, 12.0), (15.0, 6.0)]
+    sc1 = simple_scenario(pts)
+    sc2 = simple_scenario(list(reversed(pts)))
+    ct = sc1.charger_types[0]
+    a = {tuple(np.round(p, 6)) for p in CandidateGenerator(sc1).positions(ct)}
+    b = {tuple(np.round(p, 6)) for p in CandidateGenerator(sc2).positions(sc2.charger_types[0])}
+    assert a == b
