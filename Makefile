@@ -1,0 +1,15 @@
+PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench-scaling ci
+
+test:
+	$(PYTHONPATH_PREFIX) python -m pytest -x -q
+
+bench-smoke:
+	$(PYTHONPATH_PREFIX) python benchmarks/bench_extraction_scaling.py --smoke --out /tmp/bench_extraction_smoke.json
+
+bench-scaling:
+	$(PYTHONPATH_PREFIX) python benchmarks/bench_extraction_scaling.py
+
+ci:
+	sh scripts/ci.sh

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 gate: full test suite plus the extraction-scaling bench in smoke
+# mode (tiny scenario; asserts the bench completes and emits well-formed
+# JSON, not any particular speedup).
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+
+SMOKE_OUT="${TMPDIR:-/tmp}/bench_extraction_smoke.json"
+python benchmarks/bench_extraction_scaling.py --smoke --out "$SMOKE_OUT"
+python -c "import json, sys; json.load(open(sys.argv[1])); print('smoke bench JSON ok')" "$SMOKE_OUT"

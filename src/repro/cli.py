@@ -48,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--devices", type=int, default=4, help="device multiple (of 4,3,2,1)")
     solve.add_argument("--chargers", type=int, default=3, help="charger multiple (of 1,2,3)")
     solve.add_argument("--eps", type=float, default=0.15)
+    solve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for candidate extraction (1 = in-process)",
+    )
+    solve.add_argument(
+        "--timings", action="store_true", help="print the per-phase timing breakdown"
+    )
     solve.add_argument("--svg", type=str, default=None, help="write an SVG placement map here")
     solve.add_argument("--map", action="store_true", help="print an ASCII map")
     solve.add_argument("--save", type=str, default=None, help="save scenario + placement as JSON")
@@ -96,9 +105,11 @@ def _cmd_solve(args) -> int:
             charger_multiple=args.chargers,
             device_multiple=args.devices,
         )
-    sol = solve_hipo(scenario, eps=args.eps)
+    sol = solve_hipo(scenario, eps=args.eps, workers=args.workers)
     print(f"devices={scenario.num_devices} chargers={scenario.num_chargers} eps={args.eps}")
     print(f"charging utility = {sol.utility:.4f} (approx objective {sol.approx_utility:.4f})")
+    if args.timings and sol.timings is not None:
+        print(f"timings: {sol.timings.format()}")
     for s in sol.strategies:
         print(
             f"  {s.ctype.name:<10} ({s.position[0]:6.2f}, {s.position[1]:6.2f}) "

@@ -6,14 +6,24 @@ from .candidates import BoundaryCurves, CandidateGenerator
 from .distributed import (
     TaskMeasurement,
     assign_tasks,
+    extraction_pool,
     measure_task_costs,
     parallel_positions_by_type,
+    positions_by_type_pooled,
     simulate_distributed_times,
 )
-from .pdcs import PointStrategy, extract_pdcs_at_point, filter_dominated_sets, strategies_at_point
+from .pdcs import (
+    PointStrategy,
+    SweptCandidate,
+    extract_pdcs_at_point,
+    filter_dominated_sets,
+    strategies_at_point,
+    sweep_position_batch,
+)
 from .placement import (
     CandidateSet,
     HIPOSolution,
+    PhaseTimings,
     build_candidate_set,
     select_strategies,
     solve_hipo,
@@ -30,18 +40,23 @@ __all__ = [
     "CandidateSet",
     "HIPOSolution",
     "PairApproximation",
+    "PhaseTimings",
     "PointStrategy",
+    "SweptCandidate",
     "TaskMeasurement",
     "assign_tasks",
     "build_candidate_set",
     "epsilon1_for",
     "extract_pdcs_at_point",
+    "extraction_pool",
     "filter_dominated_sets",
     "measure_task_costs",
     "parallel_positions_by_type",
+    "positions_by_type_pooled",
     "select_strategies",
     "simulate_distributed_times",
     "solve_hipo",
     "solve_hipo_hardened",
     "strategies_at_point",
+    "sweep_position_batch",
 ]

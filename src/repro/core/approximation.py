@@ -145,20 +145,25 @@ class ApproxPowerCalculator:
 
     def approx_powers(self, ctype: ChargerType, dists: np.ndarray) -> np.ndarray:
         """Approximated power from a *ctype* charger at per-device distances
-        *dists* (length ``No``); geometry/LOS masking is the caller's job."""
+        *dists*; geometry/LOS masking is the caller's job.
+
+        Accepts either a length-``No`` vector (one charger position) or any
+        ``(..., No)`` batch — the device axis must be last; quantization is
+        one ``searchsorted`` per device-type group either way.
+        """
         dd = np.asarray(dists, dtype=float)
         out = np.zeros_like(dd)
         for name, idx in self._groups.items():
             if idx.size == 0:
                 continue
             pa = self._pairs[(ctype.name, name)]
-            d = dd[idx]
+            d = dd[..., idx]
             # Inlined quantization (hot path; see PairApproximation.approx_power).
             k = np.searchsorted(pa.levels, d - 1e-12, side="left")
             np.minimum(k, pa.num_levels - 1, out=k)
             vals = pa.powers[k]
             vals[(d < pa.dmin - 1e-12) | (d > pa.dmax + 1e-12)] = 0.0
-            out[idx] = vals
+            out[..., idx] = vals
         return out
 
     def boundary_radii(self, ctype: ChargerType, device_index: int) -> np.ndarray:

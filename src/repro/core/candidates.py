@@ -191,17 +191,16 @@ class CandidateGenerator:
             for c2, r2 in cj:
                 pts.extend(circle_circle_intersections(c1, r1, c2, r2))
 
-        # Only positions that can reach both devices matter for this pair.
-        keep: list[np.ndarray] = []
-        for p in pts:
-            if (
-                abs(p[0] - oi[0]) <= dmax + EPS
-                and abs(p[1] - oi[1]) <= dmax + EPS
-                and distance(p, oi) <= dmax + EPS
-                and distance(p, oj) <= dmax + EPS
-            ):
-                keep.append(p)
-        return keep
+        # Only positions that can reach both devices matter for this pair —
+        # one numpy mask over the whole point list (bbox test, then radii).
+        if not pts:
+            return []
+        arr = np.asarray(pts, dtype=float)
+        bound = dmax + EPS
+        keep = (np.abs(arr - oi) <= bound).all(axis=1)
+        keep &= np.hypot(arr[:, 0] - oi[0], arr[:, 1] - oi[1]) <= bound
+        keep &= np.hypot(arr[:, 0] - oj[0], arr[:, 1] - oj[1]) <= bound
+        return list(arr[keep])
 
     # -- per-task and per-type aggregation ------------------------------------
 

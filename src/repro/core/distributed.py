@@ -33,10 +33,12 @@ from .candidates import CandidateGenerator
 
 __all__ = [
     "TaskMeasurement",
+    "extraction_pool",
     "measure_task_costs",
     "simulate_distributed_times",
     "assign_tasks",
     "parallel_positions_by_type",
+    "positions_by_type_pooled",
 ]
 
 
@@ -102,17 +104,79 @@ def simulate_distributed_times(
     return out
 
 
-def _run_task(args: tuple[Scenario, float, int]) -> dict[str, np.ndarray]:
-    scenario, eps, i = args
-    gen = CandidateGenerator(scenario, eps=eps)
+#: Per-worker extraction state: one :class:`CandidateGenerator` built from the
+#: scenario shipped once via the pool initializer.  Tasks then carry only
+#: small payloads (a device index, or a charger name plus a position chunk)
+#: instead of re-pickling the whole scenario per task.
+_WORKER_GEN: CandidateGenerator | None = None
+
+
+def _pool_init(scenario: Scenario, eps: float) -> None:
+    global _WORKER_GEN
+    _WORKER_GEN = CandidateGenerator(scenario, eps=eps)
+
+
+def extraction_pool(scenario: Scenario, eps: float, workers: int) -> ProcessPoolExecutor:
+    """A process pool whose workers hold the scenario-bound extraction state.
+
+    The scenario is pickled once per worker (pool initializer), not once per
+    task; the same pool serves both the per-device position tasks
+    (:func:`positions_by_type_pooled`) and the batched PDCS sweep tasks used
+    by :func:`~repro.core.placement.build_candidate_set`.
+    """
+    return ProcessPoolExecutor(
+        max_workers=workers, initializer=_pool_init, initargs=(scenario, eps)
+    )
+
+
+def _positions_task(i: int) -> dict[str, np.ndarray]:
+    gen = _WORKER_GEN
     out: dict[str, np.ndarray] = {}
-    for ct in scenario.charger_types:
-        if scenario.budgets.get(ct.name, 0) == 0:
+    for ct in gen.scenario.charger_types:
+        if gen.scenario.budgets.get(ct.name, 0) == 0:
             continue
         pts = gen.positions_for_task(ct, i)
         if len(pts):
             out[ct.name] = pts
     return out
+
+
+def _sweep_task(args: tuple[str, np.ndarray, int | None]):
+    from .pdcs import sweep_position_batch
+
+    ct_name, positions, los_chunk_size = args
+    gen = _WORKER_GEN
+    ct = gen.scenario.charger_type(ct_name)
+    return sweep_position_batch(
+        gen.evaluator, gen.approx, ct, positions, los_chunk_size=los_chunk_size
+    )
+
+
+def _gather_positions(results, scenario: Scenario) -> dict[str, np.ndarray]:
+    chunks: dict[str, list[np.ndarray]] = {ct.name: [] for ct in scenario.charger_types}
+    for res in results:
+        for name, pts in res.items():
+            chunks[name].append(pts)
+    return {
+        name: dedupe_points(np.vstack(parts)) if parts else np.zeros((0, 2))
+        for name, parts in chunks.items()
+    }
+
+
+def positions_by_type_pooled(
+    pool: ProcessPoolExecutor, scenario: Scenario
+) -> dict[str, np.ndarray]:
+    """All candidate positions per type, using an :func:`extraction_pool`.
+
+    Task order (device index ascending) matches the serial
+    :meth:`CandidateGenerator.positions` chunk order, so the deduplicated
+    result is *identical* to the serial one, not just set-equal.
+    """
+    n = scenario.num_devices
+    if n == 0:
+        return {ct.name: np.zeros((0, 2)) for ct in scenario.charger_types}
+    results = pool.map(_positions_task, range(n))
+    return _gather_positions(results, scenario)
 
 
 def parallel_positions_by_type(
@@ -121,23 +185,26 @@ def parallel_positions_by_type(
     """Real multi-process extraction of all candidate positions.
 
     The result equals the serial :meth:`CandidateGenerator.positions` per
-    type (up to deduplication order).  Worker count defaults to the CPU
-    count capped by the number of tasks.
+    type.  Worker count defaults to the CPU count capped by the number of
+    tasks.  With ``workers <= 1`` the tasks run in-process against a single
+    generator (no pickling at all).
     """
     n = scenario.num_devices
     if n == 0:
         return {ct.name: np.zeros((0, 2)) for ct in scenario.charger_types}
     workers = workers or min(n, os.cpu_count() or 1)
-    chunks: dict[str, list[np.ndarray]] = {ct.name: [] for ct in scenario.charger_types}
     if workers <= 1:
-        results = [_run_task((scenario, eps, i)) for i in range(n)]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_task, [(scenario, eps, i) for i in range(n)]))
-    for res in results:
-        for name, pts in res.items():
-            chunks[name].append(pts)
-    return {
-        name: dedupe_points(np.vstack(parts)) if parts else np.zeros((0, 2))
-        for name, parts in chunks.items()
-    }
+        gen = CandidateGenerator(scenario, eps=eps)
+        results = []
+        for i in range(n):
+            out: dict[str, np.ndarray] = {}
+            for ct in scenario.charger_types:
+                if scenario.budgets.get(ct.name, 0) == 0:
+                    continue
+                pts = gen.positions_for_task(ct, i)
+                if len(pts):
+                    out[ct.name] = pts
+            results.append(out)
+        return _gather_positions(results, scenario)
+    with extraction_pool(scenario, eps, workers) as pool:
+        return positions_by_type_pooled(pool, scenario)

@@ -15,6 +15,7 @@ matrix is one broadcast.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -27,10 +28,12 @@ from ..model.types import ChargerType
 
 __all__ = [
     "PointStrategy",
+    "SweptCandidate",
     "extract_pdcs_at_point",
     "filter_dominated_sets",
     "strategies_at_point",
     "sweep_orientations",
+    "sweep_position_batch",
 ]
 
 #: Tolerance for the cone-membership decision during the sweep.  A device
@@ -94,6 +97,75 @@ def sweep_orientations(ctype: ChargerType, mask: np.ndarray, bearings: np.ndarra
     ]
     kept = filter_dominated_sets(items)
     return [PointStrategy(theta, tuple(sorted(s))) for theta, s in kept]
+
+
+@dataclass(frozen=True)
+class SweptCandidate:
+    """One candidate strategy extracted by a batched sweep: position,
+    orientation, covered set and the power values on the covered devices.
+
+    The power vectors are restricted to ``covered`` (in ascending index
+    order) so the records stay compact when shipped across process
+    boundaries; callers scatter them back into full device rows.
+    """
+
+    position: tuple[float, float]
+    orientation: float
+    covered: tuple[int, ...]
+    approx_powers: np.ndarray  # approximated power on the covered devices
+    exact_powers: np.ndarray  # exact power on the covered devices
+
+
+def sweep_position_batch(
+    evaluator: PowerEvaluator,
+    approx,
+    ctype: ChargerType,
+    positions: np.ndarray,
+    *,
+    los_chunk_size: int | None = None,
+) -> tuple[list[SweptCandidate], float]:
+    """Batched candidate extraction at many positions for one charger type.
+
+    Runs the orientation-independent coverability tests for the whole batch
+    in one broadcast (:meth:`PowerEvaluator.coverable_many`), quantizes the
+    approximated powers for every coverable row at once, then applies the
+    Algorithm-1 rotational sweep per position.  *approx* is an
+    :class:`~repro.core.approximation.ApproxPowerCalculator`.
+
+    Returns ``(records, sweep_seconds)`` where *records* lists every swept
+    candidate in position order (duplicates not yet removed — the caller
+    dedupes, so serial and distributed extraction agree) and *sweep_seconds*
+    is the time spent in the rotational sweeps alone.
+    """
+    pts = np.asarray(positions, dtype=float).reshape(-1, 2)
+    records: list[SweptCandidate] = []
+    if len(pts) == 0:
+        return records, 0.0
+    mask_b, dists_b, bearings_b = evaluator.coverable_many(
+        ctype, pts, los_chunk_size=los_chunk_size
+    )
+    rows = np.nonzero(mask_b.any(axis=1))[0]
+    if rows.size == 0:
+        return records, 0.0
+    a_vec, b_vec = evaluator.coefficients(ctype)
+    approx_b = approx.approx_powers(ctype, dists_b[rows])  # (rows, No)
+    exact_b = a_vec / (dists_b[rows] + b_vec) ** 2
+    sweep_seconds = 0.0
+    for r, i in enumerate(rows):
+        t0 = time.perf_counter()
+        point_strats = sweep_orientations(ctype, mask_b[i], bearings_b[i])
+        sweep_seconds += time.perf_counter() - t0
+        if not point_strats:
+            continue
+        pos = (float(pts[i, 0]), float(pts[i, 1]))
+        for ps in point_strats:
+            covered = np.asarray(ps.covered, dtype=int)
+            records.append(
+                SweptCandidate(
+                    pos, ps.orientation, ps.covered, approx_b[r, covered], exact_b[r, covered]
+                )
+            )
+    return records, sweep_seconds
 
 
 def extract_pdcs_at_point(

@@ -35,16 +35,52 @@ from ..opt.submodular import (
     lazy_greedy_matroid,
 )
 from .candidates import CandidateGenerator
-from .pdcs import sweep_orientations
+from .distributed import _sweep_task, extraction_pool, positions_by_type_pooled
+from .pdcs import SweptCandidate, sweep_orientations, sweep_position_batch
 
 __all__ = [
     "CandidateSet",
     "HIPOSolution",
+    "PhaseTimings",
     "build_candidate_set",
     "select_strategies",
     "solve_hipo",
     "solve_hipo_hardened",
 ]
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock breakdown of a solve, threaded through for observability.
+
+    ``extraction_seconds`` covers candidate-position generation plus the
+    batched coverability/power kernels; ``sweep_seconds`` the Algorithm-1
+    rotational sweeps; ``dedupe_seconds`` candidate deduplication and row
+    assembly; ``selection_seconds`` the greedy.  With ``workers > 1`` the
+    sweeps run inside pool workers, so ``sweep_seconds`` is CPU-seconds
+    summed across workers (it overlaps ``extraction_seconds``, which stays
+    wall-clock).
+    """
+
+    extraction_seconds: float = 0.0
+    sweep_seconds: float = 0.0
+    dedupe_seconds: float = 0.0
+    selection_seconds: float = 0.0
+    num_positions: int = 0
+    num_candidates: int = 0
+    workers: int = 1
+
+    def format(self) -> str:
+        """One-line summary (printed by ``repro solve --timings``)."""
+        return (
+            f"extraction={self.extraction_seconds:.3f}s "
+            f"sweep={self.sweep_seconds:.3f}s "
+            f"dedupe={self.dedupe_seconds:.3f}s "
+            f"selection={self.selection_seconds:.3f}s "
+            f"positions={self.num_positions} "
+            f"candidates={self.num_candidates} "
+            f"workers={self.workers}"
+        )
 
 
 @dataclass
@@ -58,6 +94,7 @@ class CandidateSet:
     part_of: list[int]  # candidate -> charger type index
     capacities: list[int]  # per charger type index
     positions_per_type: dict[str, int] = field(default_factory=dict)
+    timings: PhaseTimings | None = None
 
     @property
     def num_candidates(self) -> int:
@@ -78,6 +115,12 @@ class HIPOSolution:
     greedy: GreedyResult | None
     extraction_seconds: float = 0.0
     selection_seconds: float = 0.0
+    timings: PhaseTimings | None = None
+
+
+#: Positions per batched-sweep task; bounds both worker payload size and the
+#: peak (positions × devices) intermediates of the batched kernels.
+DEFAULT_POSITION_CHUNK = 512
 
 
 def build_candidate_set(
@@ -86,12 +129,23 @@ def build_candidate_set(
     eps: float = 0.15,
     generator: CandidateGenerator | None = None,
     positions_by_type: dict[str, np.ndarray] | None = None,
+    workers: int | None = None,
+    batched: bool = True,
+    position_chunk: int = DEFAULT_POSITION_CHUNK,
+    los_chunk_size: int | None = None,
 ) -> CandidateSet:
     """Run candidate extraction + PDCS sweeps and assemble the power matrices.
 
     *positions_by_type* overrides the geometric candidate positions (used by
     the grid baselines, the distributed extractor and the ablation benches) —
     the PDCS orientation sweep is still applied at each given position.
+
+    ``workers > 1`` fans the work out over a :func:`extraction_pool` whose
+    workers receive the scenario once (pool initializer): the per-device
+    position tasks of Algorithm 4 and the chunked PDCS sweeps both run in the
+    pool.  ``batched=False`` keeps the legacy one-position-at-a-time kernels
+    (benchmark reference).  Serial, batched and multi-worker paths produce
+    identical candidate sets in identical order.
     """
     gen = generator if generator is not None else CandidateGenerator(scenario, eps=eps)
     ev = scenario.evaluator()
@@ -103,41 +157,106 @@ def build_candidate_set(
     seen: dict = {}
     positions_per_type: dict[str, int] = {}
     capacities = [int(scenario.budgets.get(ct.name, 0)) for ct in scenario.charger_types]
+    nworkers = max(1, int(workers or 1))
+    use_pool = nworkers > 1
+    timings = PhaseTimings(workers=nworkers)
 
-    for q, ct in enumerate(scenario.charger_types):
-        if capacities[q] == 0:
-            continue
-        if positions_by_type is not None:
-            positions = np.asarray(positions_by_type.get(ct.name, np.zeros((0, 2))), dtype=float)
-        else:
-            positions = gen.positions(ct)
-        positions_per_type[ct.name] = len(positions)
-        a_vec, b_vec = ev.coefficients(ct)
-        for pos in positions:
-            mask, dists, bearings = ev.coverable(ct, pos)
-            point_strats = sweep_orientations(ct, mask, bearings)
-            if not point_strats:
+    def absorb(q: int, ct, records: list[SweptCandidate]) -> None:
+        """Dedupe swept candidates and append their power rows (timed)."""
+        t0 = time.perf_counter()
+        for rec in records:
+            key = (q, rec.covered, rec.approx_powers.round(12).tobytes())
+            if key in seen:
                 continue
-            approx_full = approx.approx_powers(ct, dists)
-            exact_full = a_vec / (dists + b_vec) ** 2
-            for ps in point_strats:
-                covered = np.asarray(ps.covered, dtype=int)
-                key = (
-                    q,
-                    ps.covered,
-                    approx_full[covered].round(12).tobytes(),
+            seen[key] = True
+            covered = np.asarray(rec.covered, dtype=int)
+            row_a = np.zeros(ev.num_devices)
+            row_e = np.zeros(ev.num_devices)
+            row_a[covered] = rec.approx_powers
+            row_e[covered] = rec.exact_powers
+            strategies.append(Strategy(rec.position, rec.orientation, ct))
+            approx_rows.append(row_a)
+            exact_rows.append(row_e)
+            part_of.append(q)
+        timings.dedupe_seconds += time.perf_counter() - t0
+
+    t_begin = time.perf_counter()
+    active = [(q, ct) for q, ct in enumerate(scenario.charger_types) if capacities[q] > 0]
+    pool = None
+    try:
+        # Phase 1: candidate positions per charger type.
+        pos_map: dict[str, np.ndarray] = {}
+        if positions_by_type is not None:
+            for q, ct in active:
+                pos_map[ct.name] = np.asarray(
+                    positions_by_type.get(ct.name, np.zeros((0, 2))), dtype=float
                 )
-                if key in seen:
-                    continue
-                seen[key] = True
-                row_a = np.zeros(ev.num_devices)
-                row_e = np.zeros(ev.num_devices)
-                row_a[covered] = approx_full[covered]
-                row_e[covered] = exact_full[covered]
-                strategies.append(Strategy((float(pos[0]), float(pos[1])), ps.orientation, ct))
-                approx_rows.append(row_a)
-                exact_rows.append(row_e)
-                part_of.append(q)
+        elif use_pool and generator is None and active:
+            pool = extraction_pool(scenario, gen.eps, nworkers)
+            pooled = positions_by_type_pooled(pool, scenario)
+            for q, ct in active:
+                pos_map[ct.name] = pooled.get(ct.name, np.zeros((0, 2)))
+        else:
+            for q, ct in active:
+                pos_map[ct.name] = gen.positions(ct)
+        for q, ct in active:
+            positions_per_type[ct.name] = len(pos_map[ct.name])
+
+        # Phase 2: PDCS sweeps (batched / pooled / legacy) + dedupe.
+        if not batched:
+            for q, ct in active:
+                positions = pos_map[ct.name]
+                a_vec, b_vec = ev.coefficients(ct)
+                for pos in positions:
+                    mask, dists, bearings = ev.coverable(ct, pos)
+                    t0 = time.perf_counter()
+                    point_strats = sweep_orientations(ct, mask, bearings)
+                    timings.sweep_seconds += time.perf_counter() - t0
+                    if not point_strats:
+                        continue
+                    approx_full = approx.approx_powers(ct, dists)
+                    exact_full = a_vec / (dists + b_vec) ** 2
+                    records = [
+                        SweptCandidate(
+                            (float(pos[0]), float(pos[1])),
+                            ps.orientation,
+                            ps.covered,
+                            approx_full[np.asarray(ps.covered, dtype=int)],
+                            exact_full[np.asarray(ps.covered, dtype=int)],
+                        )
+                        for ps in point_strats
+                    ]
+                    absorb(q, ct, records)
+        else:
+            tasks: list[tuple[str, np.ndarray, int | None]] = []
+            task_meta: list[tuple[int, object]] = []
+            for q, ct in active:
+                positions = pos_map[ct.name]
+                for lo in range(0, len(positions), position_chunk):
+                    tasks.append((ct.name, positions[lo : lo + position_chunk], los_chunk_size))
+                    task_meta.append((q, ct))
+            if use_pool and tasks:
+                if pool is None:
+                    pool = extraction_pool(scenario, gen.eps, nworkers)
+                for (q, ct), (records, sweep_s) in zip(task_meta, pool.map(_sweep_task, tasks)):
+                    timings.sweep_seconds += sweep_s
+                    absorb(q, ct, records)
+            else:
+                for (q, ct), task in zip(task_meta, tasks):
+                    records, sweep_s = sweep_position_batch(
+                        ev, approx, ct, task[1], los_chunk_size=los_chunk_size
+                    )
+                    timings.sweep_seconds += sweep_s
+                    absorb(q, ct, records)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    total = time.perf_counter() - t_begin
+    in_process_sweep = 0.0 if use_pool else timings.sweep_seconds
+    timings.extraction_seconds = max(0.0, total - timings.dedupe_seconds - in_process_sweep)
+    timings.num_positions = sum(positions_per_type.values())
+    timings.num_candidates = len(strategies)
 
     if strategies:
         approx_power = np.vstack(approx_rows)
@@ -145,7 +264,9 @@ def build_candidate_set(
     else:
         approx_power = np.zeros((0, ev.num_devices))
         exact_power = np.zeros((0, ev.num_devices))
-    return CandidateSet(strategies, approx_power, exact_power, part_of, capacities, positions_per_type)
+    return CandidateSet(
+        strategies, approx_power, exact_power, part_of, capacities, positions_per_type, timings
+    )
 
 
 def select_strategies(
@@ -197,15 +318,24 @@ def solve_hipo(
     generator: CandidateGenerator | None = None,
     positions_by_type: dict[str, np.ndarray] | None = None,
     keep_candidates: bool = False,
+    workers: int | None = None,
+    batched: bool = True,
 ) -> HIPOSolution:
     """Solve a HIPO instance end to end (the paper's full algorithm).
 
     Returns a :class:`HIPOSolution`; ``utility`` is the exact objective of
-    Eq. (4) for the selected strategies.
+    Eq. (4) for the selected strategies.  ``workers > 1`` runs the candidate
+    extraction on a process pool (identical result, see
+    :func:`build_candidate_set`).
     """
     t0 = time.perf_counter()
     candidates = build_candidate_set(
-        scenario, eps=eps, generator=generator, positions_by_type=positions_by_type
+        scenario,
+        eps=eps,
+        generator=generator,
+        positions_by_type=positions_by_type,
+        workers=workers,
+        batched=batched,
     )
     t1 = time.perf_counter()
     strategies, greedy = select_strategies(
@@ -224,6 +354,9 @@ def solve_hipo(
     else:
         exact_total = np.zeros(ev.num_devices)
         approx_total = np.zeros(ev.num_devices)
+    timings = candidates.timings
+    if timings is not None:
+        timings.selection_seconds = t2 - t1
     return HIPOSolution(
         strategies=strategies,
         utility=total_utility(exact_total, ev.thresholds),
@@ -232,6 +365,7 @@ def solve_hipo(
         greedy=greedy,
         extraction_seconds=t1 - t0,
         selection_seconds=t2 - t1,
+        timings=timings,
     )
 
 
@@ -283,4 +417,5 @@ def solve_hipo_hardened(
         greedy=inner.greedy,
         extraction_seconds=inner.extraction_seconds,
         selection_seconds=inner.selection_seconds,
+        timings=inner.timings,
     )

@@ -51,6 +51,7 @@ from .visibility import (
     obstacle_boundary_segments,
     shadow_rays,
     visible_mask,
+    visible_mask_many,
 )
 
 __all__ = [
@@ -98,4 +99,5 @@ __all__ = [
     "triangular_grid",
     "unit_vector",
     "visible_mask",
+    "visible_mask_many",
 ]

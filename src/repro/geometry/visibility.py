@@ -22,9 +22,15 @@ from .primitives import EPS, distance
 __all__ = [
     "line_of_sight",
     "visible_mask",
+    "visible_mask_many",
     "shadow_rays",
     "obstacle_boundary_segments",
 ]
+
+#: Default bound on the number of (position × target) sight segments
+#: materialized per chunk by :func:`visible_mask_many`.  With ``E`` obstacle
+#: edges the peak intermediate is ``O(chunk · E)`` floats.
+DEFAULT_LOS_CHUNK = 262_144
 
 
 def line_of_sight(p: Sequence[float], q: Sequence[float], obstacles: Iterable[Polygon]) -> bool:
@@ -52,6 +58,7 @@ def visible_mask(p: Sequence[float], targets: np.ndarray, obstacles: Sequence[Po
     if n == 0:
         return mask
     px, py = float(p[0]), float(p[1])
+    p_arr = np.array([px, py])
     seg_xmin = np.minimum(pts[:, 0], px)
     seg_xmax = np.maximum(pts[:, 0], px)
     seg_ymin = np.minimum(pts[:, 1], py)
@@ -70,14 +77,14 @@ def visible_mask(p: Sequence[float], targets: np.ndarray, obstacles: Sequence[Po
             continue
         sub = pts[idx]  # (m, 2)
         c, d, s = h.edge_arrays()  # (E, 2) edge starts / ends / directions
-        r = sub - np.array([px, py])  # (m, 2) segment directions
-        cp = c - np.array([px, py])  # (E, 2)
-        dp = d - np.array([px, py])
+        r = sub - p_arr  # (m, 2) segment directions
+        cp = c - p_arr  # (E, 2)
+        dp = d - p_arr
         # d1/d2: edge endpoints relative to the sight segment (m, E)
         d1 = r[:, None, 0] * cp[None, :, 1] - r[:, None, 1] * cp[None, :, 0]
         d2 = r[:, None, 0] * dp[None, :, 1] - r[:, None, 1] * dp[None, :, 0]
         # d3/d4: segment endpoints relative to each edge (m, E)
-        pc = np.array([px, py]) - c  # (E, 2)
+        pc = p_arr - c  # (E, 2)
         d3 = s[:, 0] * pc[:, 1] - s[:, 1] * pc[:, 0]  # (E,)
         tc = sub[:, None, :] - c[None, :, :]  # (m, E, 2)
         d4 = s[None, :, 0] * tc[:, :, 1] - s[None, :, 1] * tc[:, :, 0]
@@ -88,10 +95,93 @@ def visible_mask(p: Sequence[float], targets: np.ndarray, obstacles: Sequence[Po
         # Grazing segments: blocked when the midpoint is inside (parity test).
         free = np.nonzero(~blocked)[0]
         if free.size:
-            mids = (sub[free] + np.array([px, py])) / 2.0
+            mids = (sub[free] + p_arr) / 2.0
             blocked[free] = _parity_inside(c, d, mids)
         mask[idx[blocked]] = False
     return mask
+
+
+def _blocked_by_polygon(starts: np.ndarray, ends: np.ndarray, h: Polygon) -> np.ndarray:
+    """Which of the sight segments ``starts[k] → ends[k]`` the polygon blocks.
+
+    Generalizes the single-origin broadcast of :func:`visible_mask` to
+    per-segment origins: proper-crossing test against every edge, with the
+    parity (midpoint-inside) fallback for grazing segments.  Semantics match
+    :meth:`Polygon.blocks_segment`.
+    """
+    c, d, s = h.edge_arrays()  # (E, 2) edge starts / ends / directions
+    r = ends - starts  # (m, 2) segment directions
+    cs = c[None, :, :] - starts[:, None, :]  # (m, E, 2)
+    ds = d[None, :, :] - starts[:, None, :]
+    # d1/d2: edge endpoints relative to each sight segment (m, E)
+    d1 = r[:, None, 0] * cs[..., 1] - r[:, None, 1] * cs[..., 0]
+    d2 = r[:, None, 0] * ds[..., 1] - r[:, None, 1] * ds[..., 0]
+    # d3/d4: segment endpoints relative to each edge (m, E)
+    sc = starts[:, None, :] - c[None, :, :]
+    ec = ends[:, None, :] - c[None, :, :]
+    d3 = s[None, :, 0] * sc[..., 1] - s[None, :, 1] * sc[..., 0]
+    d4 = s[None, :, 0] * ec[..., 1] - s[None, :, 1] * ec[..., 0]
+    proper = (((d1 > EPS) & (d2 < -EPS)) | ((d1 < -EPS) & (d2 > EPS))) & (
+        ((d3 > EPS) & (d4 < -EPS)) | ((d3 < -EPS) & (d4 > EPS))
+    )
+    blocked = proper.any(axis=1)
+    free = np.nonzero(~blocked)[0]
+    if free.size:
+        mids = (starts[free] + ends[free]) / 2.0
+        blocked[free] = _parity_inside(c, d, mids)
+    return blocked
+
+
+def visible_mask_many(
+    positions: np.ndarray,
+    targets: np.ndarray,
+    obstacles: Sequence[Polygon],
+    *,
+    chunk_size: int = DEFAULT_LOS_CHUNK,
+) -> np.ndarray:
+    """Batched :func:`visible_mask`: ``out[i, j]`` is True iff target *j* has
+    line of sight from position *i*.
+
+    One broadcast covers the full ``(positions × targets × edges)`` crossing
+    test per obstacle; *chunk_size* caps how many (position, target) sight
+    segments are materialized at once so memory stays bounded on large
+    candidate sets.  Row ``out[i]`` equals ``visible_mask(positions[i], ...)``
+    exactly (same bbox prefilter, proper-crossing test and parity fallback).
+    """
+    pos = np.asarray(positions, dtype=float).reshape(-1, 2)
+    pts = np.asarray(targets, dtype=float).reshape(-1, 2)
+    np_pos, n_tgt = len(pos), len(pts)
+    out = np.ones((np_pos, n_tgt), dtype=bool)
+    if np_pos == 0 or n_tgt == 0 or not obstacles:
+        return out
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    rows_per_chunk = max(1, chunk_size // n_tgt)
+    for lo in range(0, np_pos, rows_per_chunk):
+        hi = min(np_pos, lo + rows_per_chunk)
+        m = hi - lo
+        starts = np.repeat(pos[lo:hi], n_tgt, axis=0)  # (m·T, 2)
+        ends = np.tile(pts, (m, 1))
+        mask = out[lo:hi].reshape(-1)  # view; updated in place
+        seg_xmin = np.minimum(starts[:, 0], ends[:, 0])
+        seg_xmax = np.maximum(starts[:, 0], ends[:, 0])
+        seg_ymin = np.minimum(starts[:, 1], ends[:, 1])
+        seg_ymax = np.maximum(starts[:, 1], ends[:, 1])
+        for h in obstacles:
+            xmin, ymin, xmax, ymax = h.bbox
+            near = (
+                (seg_xmax >= xmin - EPS)
+                & (seg_xmin <= xmax + EPS)
+                & (seg_ymax >= ymin - EPS)
+                & (seg_ymin <= ymax + EPS)
+                & mask
+            )
+            idx = np.nonzero(near)[0]
+            if idx.size == 0:
+                continue
+            blocked = _blocked_by_polygon(starts[idx], ends[idx], h)
+            mask[idx[blocked]] = False
+    return out
 
 
 def _parity_inside(c: np.ndarray, d: np.ndarray, pts: np.ndarray) -> np.ndarray:

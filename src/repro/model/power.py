@@ -25,7 +25,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..geometry import EPS, TWO_PI, Polygon, visible_mask
+from ..geometry import EPS, TWO_PI, Polygon, visible_mask, visible_mask_many
 from .entities import Device, Strategy
 from .types import ChargerType, CoefficientTable
 
@@ -141,6 +141,28 @@ class PowerEvaluator:
         """Drop the line-of-sight cache (e.g. between sweep repetitions)."""
         self._los_cache.clear()
 
+    def los_mask_many(self, positions: np.ndarray, *, chunk_size: int | None = None) -> np.ndarray:
+        """Batched :meth:`los_mask`: ``(positions × devices)`` in one broadcast.
+
+        Positions already in the cache are reused; fresh rows are computed
+        with :func:`~repro.geometry.visible_mask_many` and cached for the
+        per-position calls that follow (e.g. exact re-evaluation).
+        """
+        pos = np.asarray(positions, dtype=float).reshape(-1, 2)
+        out = np.ones((len(pos), self.num_devices), dtype=bool)
+        if not self.obstacles or len(pos) == 0:
+            return out
+        keys = [(round(float(p[0]), 9), round(float(p[1]), 9)) for p in pos]
+        missing = [i for i, k in enumerate(keys) if k not in self._los_cache]
+        if missing:
+            kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+            fresh = visible_mask_many(pos[missing], self.positions, self.obstacles, **kwargs)
+            for row, i in enumerate(missing):
+                self._los_cache[keys[i]] = fresh[row]
+        for i, k in enumerate(keys):
+            out[i] = self._los_cache[k]
+        return out
+
     def coverable(self, ctype: ChargerType, position: Sequence[float]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Orientation-independent coverability from *position* for *ctype*.
 
@@ -163,6 +185,37 @@ class PowerEvaluator:
             mask &= diff <= self.half_angles + EPS
         if mask.any() and self.obstacles:
             mask &= self.los_mask(pos)
+        return mask, dists, bearings
+
+    def coverable_many(
+        self,
+        ctype: ChargerType,
+        positions: np.ndarray,
+        *,
+        los_chunk_size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`coverable` over many candidate positions.
+
+        Returns ``(mask, dists, bearings)`` with shape
+        ``(positions × devices)`` each; row *i* equals the serial
+        ``coverable(ctype, positions[i])`` result.  The distance, ring and
+        receiving-cone tests are one broadcast over the whole batch; the
+        line-of-sight masks come from :meth:`los_mask_many` (chunked so
+        memory stays bounded, see *los_chunk_size*).
+        """
+        pos = np.asarray(positions, dtype=float).reshape(-1, 2)
+        delta = self.positions[None, :, :] - pos[:, None, :]  # (P, No, 2)
+        dists = np.hypot(delta[..., 0], delta[..., 1])
+        bearings = np.mod(np.arctan2(delta[..., 1], delta[..., 0]), TWO_PI)
+        mask = (dists >= ctype.dmin - EPS) & (dists <= ctype.dmax + EPS) & (dists >= EPS)
+        if mask.any():
+            # charger inside the device receiving cone: bearing device→charger
+            rev = np.mod(bearings + math.pi, TWO_PI)
+            diff = np.abs(np.mod(rev - self.orientations[None, :] + math.pi, TWO_PI) - math.pi)
+            mask &= diff <= self.half_angles[None, :] + EPS
+        if mask.any() and self.obstacles:
+            rows = np.nonzero(mask.any(axis=1))[0]
+            mask[rows] &= self.los_mask_many(pos[rows], chunk_size=los_chunk_size)
         return mask, dists, bearings
 
     def power_vector(self, strategy: Strategy, *, distances: np.ndarray | None = None) -> np.ndarray:

@@ -182,6 +182,18 @@ def greedy_matroid(
                 pool = members[~chosen_mask[members]]
                 if not pick_from(pool):
                     break
+    elif isinstance(matroid, PartitionMatroid):
+        # The eligible pool is a pure mask computation for a partition
+        # matroid: unchosen elements whose part still has spare capacity.
+        part_of = np.asarray(matroid.part_of, dtype=int)
+        capacities = np.asarray(matroid.capacities, dtype=int)
+        counts = np.zeros(len(capacities), dtype=int)
+        while True:
+            open_part = counts < capacities
+            extendable = np.nonzero(~chosen_mask & open_part[part_of])[0]
+            if not pick_from(extendable):
+                break
+            counts[part_of[chosen[-1]]] += 1
     else:
         while True:
             extendable = np.array(

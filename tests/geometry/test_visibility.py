@@ -13,6 +13,7 @@ from repro.geometry import (
     rectangle,
     shadow_rays,
     visible_mask,
+    visible_mask_many,
 )
 
 coords = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
@@ -92,3 +93,35 @@ def test_obstacle_boundary_segments_count():
     obs = [rectangle(0, 0, 1, 1), Polygon([(2, 2), (3, 2), (2.5, 3)])]
     segs = obstacle_boundary_segments(obs)
     assert len(segs) == 4 + 3
+
+
+def test_visible_mask_many_matches_serial_rows():
+    obs = [rectangle(3, 3, 5, 5), Polygon([(7, 1), (9, 1), (8, 3)])]
+    rng = np.random.default_rng(42)
+    positions = rng.uniform(0.0, 10.0, size=(23, 2))
+    targets = rng.uniform(0.0, 10.0, size=(11, 2))
+    out = visible_mask_many(positions, targets, obs)
+    assert out.shape == (23, 11)
+    for i, p in enumerate(positions):
+        assert np.array_equal(out[i], visible_mask(p, targets, obs))
+
+
+def test_visible_mask_many_chunking_invariant():
+    obs = [rectangle(2, 2, 4, 4)]
+    rng = np.random.default_rng(7)
+    positions = rng.uniform(0.0, 8.0, size=(17, 2))
+    targets = rng.uniform(0.0, 8.0, size=(9, 2))
+    full = visible_mask_many(positions, targets, obs)
+    for chunk in (1, 5, 9, 1000):
+        assert np.array_equal(full, visible_mask_many(positions, targets, obs, chunk_size=chunk))
+
+
+def test_visible_mask_many_no_obstacles_all_true():
+    out = visible_mask_many(np.zeros((3, 2)), np.ones((4, 2)), [])
+    assert out.shape == (3, 4) and out.all()
+
+
+def test_visible_mask_many_empty_inputs():
+    obs = [rectangle(0, 0, 1, 1)]
+    assert visible_mask_many(np.zeros((0, 2)), np.ones((4, 2)), obs).shape == (0, 4)
+    assert visible_mask_many(np.zeros((3, 2)), np.zeros((0, 2)), obs).shape == (3, 0)

@@ -147,3 +147,34 @@ def test_coefficients_for_unregistered_type():
     ev = PowerEvaluator([dev((3.0, 0.0))], [], TABLE, [])
     a, b = ev.coefficients(CT)
     assert a[0] == 100.0 and b[0] == 5.0
+
+
+def test_coverable_many_matches_serial():
+    obs = [rectangle(1.0, -0.5, 2.0, 0.5)]
+    devices = [
+        dev((3.0, 0.0)),
+        dev((0.0, 3.0), orient=math.pi / 4.0, dtype=DT_NARROW),
+        dev((-4.0, -1.0), orient=math.pi),
+    ]
+    ev = PowerEvaluator(devices, obs, TABLE, [CT])
+    rng = np.random.default_rng(3)
+    positions = rng.uniform(-6.0, 6.0, size=(29, 2))
+    mask_b, dists_b, bearings_b = ev.coverable_many(CT, positions)
+    assert mask_b.shape == dists_b.shape == bearings_b.shape == (29, 3)
+    ev.clear_cache()
+    for i, p in enumerate(positions):
+        mask, dists, bearings = ev.coverable(CT, p)
+        assert np.array_equal(mask_b[i], mask)
+        assert np.allclose(dists_b[i], dists)
+        assert np.allclose(bearings_b[i], bearings)
+
+
+def test_los_mask_many_populates_cache():
+    obs = [rectangle(1.0, -0.5, 2.0, 0.5)]
+    ev = PowerEvaluator([dev((3.0, 0.0)), dev((0.0, 3.0))], obs, TABLE, [CT])
+    positions = np.array([[0.0, 0.0], [0.0, -1.0]])
+    batch = ev.los_mask_many(positions)
+    # Cached per-position rows agree with the batched result.
+    for i, p in enumerate(positions):
+        assert np.array_equal(batch[i], ev.los_mask(p))
+    assert batch[0].tolist() == [False, True]
