@@ -22,9 +22,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import time
 from pathlib import Path
 
@@ -32,6 +29,7 @@ import numpy as np
 
 from repro.core import build_candidate_set
 from repro.experiments import random_scenario
+from repro.obs import MetricsRegistry, write_bench_json
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_SEED = 20260806
@@ -52,23 +50,31 @@ def make_scenario(seed: int, device_multiple: int, charger_multiple: int):
     )
 
 
-def time_mode(args, repeats: int, **build_kwargs) -> dict:
-    """Best-of-*repeats* wall-clock of one extraction configuration."""
+def time_mode(args, repeats: int, **build_kwargs):
+    """Best-of-*repeats* wall-clock of one extraction configuration.
+
+    Returns ``(mode_dict, metrics_snapshot)`` — the snapshot is from the
+    final repeat (fresh registry per repeat so counters aren't inflated).
+    """
     runs = []
     candidates = positions = None
+    snapshot = None
     for _ in range(repeats):
         scenario = make_scenario(args.seed, args.devices, args.chargers)
+        registry = MetricsRegistry()
         t0 = time.perf_counter()
-        cs = build_candidate_set(scenario, **build_kwargs)
+        cs = build_candidate_set(scenario, metrics=registry, **build_kwargs)
         runs.append(time.perf_counter() - t0)
         candidates = cs.num_candidates
         positions = sum(cs.positions_per_type.values())
-    return {
+        snapshot = registry.snapshot()
+    mode = {
         "seconds": min(runs),
         "runs": [round(r, 4) for r in runs],
         "candidates": candidates,
         "positions": positions,
     }
+    return mode, snapshot
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -103,12 +109,13 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     modes: dict[str, dict] = {}
-    modes["serial"] = time_mode(args, args.repeats, batched=False)
+    snapshots: dict[str, object] = {}
+    modes["serial"], snapshots["serial"] = time_mode(args, args.repeats, batched=False)
     print(f"serial   : {modes['serial']['seconds']:.3f}s")
-    modes["batched"] = time_mode(args, args.repeats, batched=True)
+    modes["batched"], snapshots["batched"] = time_mode(args, args.repeats, batched=True)
     print(f"batched  : {modes['batched']['seconds']:.3f}s")
     for w in worker_counts:
-        modes[f"workers{w}"] = time_mode(args, args.repeats, workers=w)
+        modes[f"workers{w}"], snapshots[f"workers{w}"] = time_mode(args, args.repeats, workers=w)
         print(f"workers{w} : {modes[f'workers{w}']['seconds']:.3f}s")
 
     serial_s = modes["serial"]["seconds"]
@@ -119,10 +126,10 @@ def main(argv: list[str] | None = None) -> int:
     counts = {m["candidates"] for m in modes.values()}
     if len(counts) != 1:
         raise SystemExit(f"candidate counts diverged across modes: {counts}")
+    for name, snap in snapshots.items():
+        modes[name]["counters"] = {k: snap.counters[k] for k in sorted(snap.counters)}
 
     payload = {
-        "benchmark": "extraction_scaling",
-        "host": {"cpu_count": os.cpu_count(), "platform": platform.platform()},
         "scenario": {
             "seed": args.seed,
             "device_multiple": args.devices,
@@ -136,9 +143,12 @@ def main(argv: list[str] | None = None) -> int:
         "modes": modes,
         "speedup_vs_serial": speedups,
     }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    json.loads(out.read_text())  # well-formedness check
+    # The shared writer stamps the provenance meta block (git sha, versions,
+    # cpu count) plus the batched-mode metric snapshot, and re-parses the
+    # file as a well-formedness check.
+    out = write_bench_json(
+        Path(args.out), "extraction_scaling", payload, metrics=snapshots["batched"]
+    )
     print(f"speedups vs serial: {speedups}")
     print(f"wrote {out}")
     return 0

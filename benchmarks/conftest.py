@@ -35,12 +35,22 @@ def pick(reduced, full):
 
 @pytest.fixture
 def report():
-    """Save a regenerated series under benchmarks/results and echo it."""
+    """Save a regenerated series under benchmarks/results and echo it.
+
+    Every series is written twice: the human-diffable ``<name>.txt`` (as
+    before) and a ``<name>.json`` artifact routed through the shared
+    :func:`repro.obs.write_bench_json` writer, which stamps the provenance
+    ``meta`` block (git sha, python/numpy versions, platform, CPU count,
+    timestamp) so saved numbers are attributable to the code and machine
+    that produced them.
+    """
+    from repro.obs import write_bench_json
 
     def _report(name: str, text: str) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text)
+        write_bench_json(RESULTS_DIR / f"{name}.json", name, {"text": text})
         print(f"\n=== {name} ===")
         print(text)
 

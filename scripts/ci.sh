@@ -1,7 +1,10 @@
 #!/bin/sh
-# Tier-1 gate: full test suite plus the extraction-scaling bench in smoke
-# mode (tiny scenario; asserts the bench completes and emits well-formed
-# JSON, not any particular speedup).
+# Tier-1 gate: full test suite, the extraction-scaling bench in smoke mode
+# (tiny scenario; asserts the bench completes and emits well-formed
+# meta-stamped JSON, not any particular speedup), and an observability
+# smoke run: a traced multi-worker solve whose JSONL trace must validate
+# against the repro.trace/v1 schema (every line parses, required keys
+# present, root span covers child spans).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,4 +14,15 @@ python -m pytest -x -q
 
 SMOKE_OUT="${TMPDIR:-/tmp}/bench_extraction_smoke.json"
 python benchmarks/bench_extraction_scaling.py --smoke --out "$SMOKE_OUT"
-python -c "import json, sys; json.load(open(sys.argv[1])); print('smoke bench JSON ok')" "$SMOKE_OUT"
+python -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['meta']['schema'] == 'repro.bench/v1', doc.get('meta')
+assert doc['meta']['cpu_count'] and doc['meta']['python'], doc['meta']
+print('smoke bench JSON ok (meta stamped)')
+" "$SMOKE_OUT"
+
+TRACE_OUT="${TMPDIR:-/tmp}/repro_trace_smoke.jsonl"
+python -m repro solve --seed 3 --devices 1 --chargers 1 --workers 2 \
+    --trace "$TRACE_OUT" --metrics --timings --json > /dev/null
+python -m repro.obs.validate "$TRACE_OUT"

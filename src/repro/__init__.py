@@ -32,6 +32,11 @@ Package layout
 ``repro.experiments``
     Scenario defaults (Tables 2–4), the §7 field testbed, and one
     reproduction function per evaluation figure.
+``repro.obs``
+    Observability: hierarchical span tracing (JSONL export, schema
+    ``repro.trace/v1``), a metrics registry whose snapshots merge across
+    process-pool workers, run reports, and provenance-stamped benchmark
+    artifacts.
 """
 
 from .core import HIPOSolution, build_candidate_set, solve_hipo, solve_hipo_hardened

@@ -57,6 +57,24 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--timings", action="store_true", help="print the per-phase timing breakdown"
     )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="with --timings: emit the breakdown as JSON instead of one line",
+    )
+    solve.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the span trace as JSONL (schema repro.trace/v1; "
+        "validate with `python -m repro.obs.validate PATH`)",
+    )
+    solve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run report: per-phase span tree plus metric tables",
+    )
     solve.add_argument("--svg", type=str, default=None, help="write an SVG placement map here")
     solve.add_argument("--map", action="store_true", help="print an ASCII map")
     solve.add_argument("--save", type=str, default=None, help="save scenario + placement as JSON")
@@ -109,7 +127,17 @@ def _cmd_solve(args) -> int:
     print(f"devices={scenario.num_devices} chargers={scenario.num_chargers} eps={args.eps}")
     print(f"charging utility = {sol.utility:.4f} (approx objective {sol.approx_utility:.4f})")
     if args.timings and sol.timings is not None:
-        print(f"timings: {sol.timings.format()}")
+        if args.json:
+            import json
+
+            print(json.dumps(sol.timings.as_dict(), indent=2))
+        else:
+            print(f"timings: {sol.timings.format()}")
+    if args.metrics:
+        print(sol.report())
+    if args.trace and sol.trace is not None:
+        sol.trace.write_jsonl(args.trace)
+        print(f"wrote {args.trace}")
     for s in sol.strategies:
         print(
             f"  {s.ctype.name:<10} ({s.position[0]:6.2f}, {s.position[1]:6.2f}) "

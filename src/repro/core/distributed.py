@@ -28,6 +28,7 @@ import numpy as np
 
 from ..geometry import dedupe_points
 from ..model.network import Scenario
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..opt.scheduling import Schedule, lpt_schedule
 from .candidates import CandidateGenerator
 
@@ -55,26 +56,45 @@ class TaskMeasurement:
         return float(self.durations.sum())
 
 
-def measure_task_costs(scenario: Scenario, *, eps: float = 0.15) -> TaskMeasurement:
+def measure_task_costs(
+    scenario: Scenario,
+    *,
+    eps: float = 0.15,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> TaskMeasurement:
     """Run every per-device task serially, timing each (Algorithm 4 unit).
 
     The per-task duration covers all charger types, matching Algorithm 5
     which hands "the task with device index i and all the charger types" to
     one machine.
+
+    With *tracer* given, each task becomes a ``task`` span (attribute
+    ``device``) under a ``measure_tasks`` parent; *metrics* receives the
+    ``distributed.tasks`` counter and the ``distributed.task_seconds``
+    histogram, so per-task costs are no longer dropped from the user view.
     """
+    trace = tracer if tracer is not None else NULL_TRACER
     gen = CandidateGenerator(scenario, eps=eps)
     n = scenario.num_devices
     durations = np.zeros(n)
     chunks: dict[str, list[np.ndarray]] = {ct.name: [] for ct in scenario.charger_types}
-    for i in range(n):
-        t0 = time.perf_counter()
-        for ct in scenario.charger_types:
-            if scenario.budgets.get(ct.name, 0) == 0:
-                continue
-            pts = gen.positions_for_task(ct, i)
-            if len(pts):
-                chunks[ct.name].append(pts)
-        durations[i] = time.perf_counter() - t0
+    with trace.span("measure_tasks", devices=n) as msp:
+        for i in range(n):
+            with trace.span("task", device=i) as tsp:
+                t0 = time.perf_counter()
+                for ct in scenario.charger_types:
+                    if scenario.budgets.get(ct.name, 0) == 0:
+                        continue
+                    pts = gen.positions_for_task(ct, i)
+                    if len(pts):
+                        chunks[ct.name].append(pts)
+                durations[i] = time.perf_counter() - t0
+                tsp.set(seconds=round(float(durations[i]), 6))
+            if metrics is not None:
+                metrics.inc("distributed.tasks")
+                metrics.observe("distributed.task_seconds", float(durations[i]))
+        msp.set(serial_total=round(float(durations.sum()), 6))
     positions = {
         name: dedupe_points(np.vstack(parts)) if parts else np.zeros((0, 2))
         for name, parts in chunks.items()
@@ -91,16 +111,31 @@ def assign_tasks(durations: np.ndarray, machines: int) -> Schedule:
 
 
 def simulate_distributed_times(
-    scenario: Scenario, machine_counts: list[int], *, eps: float = 0.15
-) -> dict[int | str, float]:
+    scenario: Scenario,
+    machine_counts: list[int],
+    *,
+    eps: float = 0.15,
+    include_tasks: bool = False,
+    tracer: Tracer | None = None,
+) -> dict:
     """Fig. 12 harness: serial total plus LPT makespan per machine count.
 
-    Keys: ``"serial"`` and each entry of *machine_counts*.
+    Keys: ``"serial"`` and each entry of *machine_counts*.  With
+    ``include_tasks=True`` the per-device task durations measured by
+    :func:`measure_task_costs` are surfaced under a ``"tasks"`` key instead
+    of being dropped; *tracer* additionally records one span per task plus
+    a ``schedule`` span per machine count.
     """
-    m = measure_task_costs(scenario, eps=eps)
-    out: dict[int | str, float] = {"serial": m.serial_total}
-    for k in machine_counts:
-        out[k] = assign_tasks(m.durations, k).makespan
+    trace = tracer if tracer is not None else NULL_TRACER
+    with trace.span("simulate_distributed", machines=list(machine_counts)):
+        m = measure_task_costs(scenario, eps=eps, tracer=tracer)
+        out: dict = {"serial": m.serial_total}
+        for k in machine_counts:
+            with trace.span("schedule", machines=k) as sp:
+                out[k] = assign_tasks(m.durations, k).makespan
+                sp.set(makespan=round(float(out[k]), 6))
+        if include_tasks:
+            out["tasks"] = [float(d) for d in m.durations]
     return out
 
 
@@ -142,14 +177,28 @@ def _positions_task(i: int) -> dict[str, np.ndarray]:
 
 
 def _sweep_task(args: tuple[str, np.ndarray, int | None]):
+    """One chunked PDCS sweep in a pool worker.
+
+    Returns ``(records, sweep_seconds, metrics_snapshot)``: the worker
+    accumulates kernel counters into a task-local registry and ships the
+    picklable snapshot back for the parent to merge, so serial and
+    multi-worker runs report identical counter totals.
+    """
     from .pdcs import sweep_position_batch
 
     ct_name, positions, los_chunk_size = args
     gen = _WORKER_GEN
     ct = gen.scenario.charger_type(ct_name)
-    return sweep_position_batch(
-        gen.evaluator, gen.approx, ct, positions, los_chunk_size=los_chunk_size
+    task_metrics = MetricsRegistry()
+    records, sweep_s = sweep_position_batch(
+        gen.evaluator,
+        gen.approx,
+        ct,
+        positions,
+        los_chunk_size=los_chunk_size,
+        metrics=task_metrics,
     )
+    return records, sweep_s, task_metrics.snapshot()
 
 
 def _gather_positions(results, scenario: Scenario) -> dict[str, np.ndarray]:

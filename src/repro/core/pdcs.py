@@ -123,6 +123,7 @@ def sweep_position_batch(
     positions: np.ndarray,
     *,
     los_chunk_size: int | None = None,
+    metrics=None,
 ) -> tuple[list[SweptCandidate], float]:
     """Batched candidate extraction at many positions for one charger type.
 
@@ -136,9 +137,19 @@ def sweep_position_batch(
     candidate in position order (duplicates not yet removed — the caller
     dedupes, so serial and distributed extraction agree) and *sweep_seconds*
     is the time spent in the rotational sweeps alone.
+
+    *metrics*, when given, is a :class:`~repro.obs.MetricsRegistry` fed the
+    per-chunk kernel counters (``extraction.chunks``,
+    ``extraction.positions_swept``, ``extraction.candidates_raw``) and the
+    ``extraction.sweep_chunk_seconds`` histogram.  Pool workers pass a
+    task-local registry and ship its snapshot back with the records, so the
+    counter totals match the serial path exactly.
     """
     pts = np.asarray(positions, dtype=float).reshape(-1, 2)
     records: list[SweptCandidate] = []
+    if metrics is not None:
+        metrics.inc("extraction.chunks")
+        metrics.inc("extraction.positions_swept", len(pts))
     if len(pts) == 0:
         return records, 0.0
     mask_b, dists_b, bearings_b = evaluator.coverable_many(
@@ -165,6 +176,9 @@ def sweep_position_batch(
                     pos, ps.orientation, ps.covered, approx_b[r, covered], exact_b[r, covered]
                 )
             )
+    if metrics is not None:
+        metrics.inc("extraction.candidates_raw", len(records))
+        metrics.observe("extraction.sweep_chunk_seconds", sweep_seconds)
     return records, sweep_seconds
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from ..model.entities import Strategy
 from ..model.network import Scenario
 from ..model.utility import total_utility
+from ..obs import MetricsRegistry, MetricsSnapshot, Tracer, render_run_report
 from ..opt.matroid import PartitionMatroid
 from ..opt.submodular import (
     ChargingUtilityObjective,
@@ -51,15 +52,18 @@ __all__ = [
 
 @dataclass
 class PhaseTimings:
-    """Wall-clock breakdown of a solve, threaded through for observability.
+    """Wall-clock breakdown of a solve — a thin view derived from the trace.
 
-    ``extraction_seconds`` covers candidate-position generation plus the
-    batched coverability/power kernels; ``sweep_seconds`` the Algorithm-1
-    rotational sweeps; ``dedupe_seconds`` candidate deduplication and row
-    assembly; ``selection_seconds`` the greedy.  With ``workers > 1`` the
-    sweeps run inside pool workers, so ``sweep_seconds`` is CPU-seconds
-    summed across workers (it overlaps ``extraction_seconds``, which stays
-    wall-clock).
+    Since the `repro.obs` tracer became the source of truth, this dataclass
+    is computed by :meth:`from_trace` from the ``extraction`` / ``selection``
+    span tree (it is kept as a stable, flat API for callers that predate the
+    tracer).  ``extraction_seconds`` covers candidate-position generation
+    plus the batched coverability/power kernels; ``sweep_seconds`` the
+    Algorithm-1 rotational sweeps; ``dedupe_seconds`` candidate
+    deduplication and row assembly; ``selection_seconds`` the greedy.  With
+    ``workers > 1`` the sweeps run inside pool workers, so
+    ``sweep_seconds`` is CPU-seconds summed across workers (it overlaps
+    ``extraction_seconds``, which stays wall-clock).
     """
 
     extraction_seconds: float = 0.0
@@ -69,6 +73,44 @@ class PhaseTimings:
     num_positions: int = 0
     num_candidates: int = 0
     workers: int = 1
+
+    @classmethod
+    def from_trace(cls, trace: Tracer) -> "PhaseTimings":
+        """Derive the flat breakdown from a trace's span tree.
+
+        Uses the most recent ``extraction`` span (wall clock plus its
+        accumulated ``sweep_seconds`` / ``dedupe_seconds`` attributes) and
+        the most recent ``selection`` span, matching the pre-tracer
+        semantics: in-process sweep time is carved out of extraction,
+        pooled sweep time overlaps it.
+        """
+        t = cls()
+        ext_spans = trace.find_all("extraction")
+        if ext_spans:
+            ext = ext_spans[-1]
+            t.workers = int(ext.attrs.get("workers", 1))
+            t.sweep_seconds = float(ext.attrs.get("sweep_seconds", 0.0))
+            t.dedupe_seconds = float(ext.attrs.get("dedupe_seconds", 0.0))
+            t.num_positions = int(ext.attrs.get("positions", 0))
+            t.num_candidates = int(ext.attrs.get("candidates", 0))
+            in_process_sweep = 0.0 if t.workers > 1 else t.sweep_seconds
+            t.extraction_seconds = max(0.0, ext.wall_s - t.dedupe_seconds - in_process_sweep)
+        sel_spans = trace.find_all("selection")
+        if sel_spans:
+            t.selection_seconds = sel_spans[-1].wall_s
+        return t
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (``repro solve --timings --json``)."""
+        return {
+            "extraction_seconds": self.extraction_seconds,
+            "sweep_seconds": self.sweep_seconds,
+            "dedupe_seconds": self.dedupe_seconds,
+            "selection_seconds": self.selection_seconds,
+            "num_positions": self.num_positions,
+            "num_candidates": self.num_candidates,
+            "workers": self.workers,
+        }
 
     def format(self) -> str:
         """One-line summary (printed by ``repro solve --timings``)."""
@@ -116,6 +158,16 @@ class HIPOSolution:
     extraction_seconds: float = 0.0
     selection_seconds: float = 0.0
     timings: PhaseTimings | None = None
+    trace: Tracer | None = None
+    metrics: MetricsSnapshot | None = None
+
+    def report(self) -> str:
+        """Human-readable run report: per-phase span tree plus metrics.
+
+        Rendered from the trace and merged metric snapshot of the solve
+        (``repro solve --metrics`` prints exactly this).
+        """
+        return render_run_report(self.trace, self.metrics)
 
 
 #: Positions per batched-sweep task; bounds both worker payload size and the
@@ -133,6 +185,8 @@ def build_candidate_set(
     batched: bool = True,
     position_chunk: int = DEFAULT_POSITION_CHUNK,
     los_chunk_size: int | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CandidateSet:
     """Run candidate extraction + PDCS sweeps and assemble the power matrices.
 
@@ -146,7 +200,16 @@ def build_candidate_set(
     pool.  ``batched=False`` keeps the legacy one-position-at-a-time kernels
     (benchmark reference).  Serial, batched and multi-worker paths produce
     identical candidate sets in identical order.
+
+    Observability: the phases run inside ``extraction`` → ``positions`` /
+    ``sweeps`` spans on *tracer* (a private tracer is created when none is
+    given, so :class:`PhaseTimings` is always derivable), and *metrics*
+    accumulates the extraction counters (see DESIGN.md §"Observability");
+    pool workers ship per-task snapshots back, so counter totals are
+    identical to a serial run.
     """
+    trace = tracer if tracer is not None else Tracer()
+    mreg = metrics if metrics is not None else MetricsRegistry()
     gen = generator if generator is not None else CandidateGenerator(scenario, eps=eps)
     ev = scenario.evaluator()
     approx = gen.approx
@@ -159,11 +222,14 @@ def build_candidate_set(
     capacities = [int(scenario.budgets.get(ct.name, 0)) for ct in scenario.charger_types]
     nworkers = max(1, int(workers or 1))
     use_pool = nworkers > 1
-    timings = PhaseTimings(workers=nworkers)
+    sweep_s = 0.0  # CPU-seconds inside Algorithm-1 sweeps (worker-side when pooled)
+    dedupe_s = 0.0  # wall-clock inside absorb()
 
     def absorb(q: int, ct, records: list[SweptCandidate]) -> None:
         """Dedupe swept candidates and append their power rows (timed)."""
+        nonlocal dedupe_s
         t0 = time.perf_counter()
+        kept = 0
         for rec in records:
             key = (q, rec.covered, rec.approx_powers.round(12).tobytes())
             if key in seen:
@@ -178,85 +244,111 @@ def build_candidate_set(
             approx_rows.append(row_a)
             exact_rows.append(row_e)
             part_of.append(q)
-        timings.dedupe_seconds += time.perf_counter() - t0
+            kept += 1
+        dedupe_s += time.perf_counter() - t0
+        mreg.inc("extraction.candidates", kept)
+        mreg.inc("extraction.duplicates", len(records) - kept)
 
-    t_begin = time.perf_counter()
     active = [(q, ct) for q, ct in enumerate(scenario.charger_types) if capacities[q] > 0]
-    pool = None
-    try:
-        # Phase 1: candidate positions per charger type.
-        pos_map: dict[str, np.ndarray] = {}
-        if positions_by_type is not None:
-            for q, ct in active:
-                pos_map[ct.name] = np.asarray(
-                    positions_by_type.get(ct.name, np.zeros((0, 2))), dtype=float
-                )
-        elif use_pool and generator is None and active:
-            pool = extraction_pool(scenario, gen.eps, nworkers)
-            pooled = positions_by_type_pooled(pool, scenario)
-            for q, ct in active:
-                pos_map[ct.name] = pooled.get(ct.name, np.zeros((0, 2)))
-        else:
-            for q, ct in active:
-                pos_map[ct.name] = gen.positions(ct)
-        for q, ct in active:
-            positions_per_type[ct.name] = len(pos_map[ct.name])
-
-        # Phase 2: PDCS sweeps (batched / pooled / legacy) + dedupe.
-        if not batched:
-            for q, ct in active:
-                positions = pos_map[ct.name]
-                a_vec, b_vec = ev.coefficients(ct)
-                for pos in positions:
-                    mask, dists, bearings = ev.coverable(ct, pos)
-                    t0 = time.perf_counter()
-                    point_strats = sweep_orientations(ct, mask, bearings)
-                    timings.sweep_seconds += time.perf_counter() - t0
-                    if not point_strats:
-                        continue
-                    approx_full = approx.approx_powers(ct, dists)
-                    exact_full = a_vec / (dists + b_vec) ** 2
-                    records = [
-                        SweptCandidate(
-                            (float(pos[0]), float(pos[1])),
-                            ps.orientation,
-                            ps.covered,
-                            approx_full[np.asarray(ps.covered, dtype=int)],
-                            exact_full[np.asarray(ps.covered, dtype=int)],
+    with trace.span("extraction", workers=nworkers) as ext_sp:
+        pool = None
+        try:
+            # Phase 1: candidate positions per charger type.
+            pos_map: dict[str, np.ndarray] = {}
+            with trace.span("positions") as pos_sp:
+                if positions_by_type is not None:
+                    for q, ct in active:
+                        pos_map[ct.name] = np.asarray(
+                            positions_by_type.get(ct.name, np.zeros((0, 2))), dtype=float
                         )
-                        for ps in point_strats
-                    ]
-                    absorb(q, ct, records)
-        else:
-            tasks: list[tuple[str, np.ndarray, int | None]] = []
-            task_meta: list[tuple[int, object]] = []
-            for q, ct in active:
-                positions = pos_map[ct.name]
-                for lo in range(0, len(positions), position_chunk):
-                    tasks.append((ct.name, positions[lo : lo + position_chunk], los_chunk_size))
-                    task_meta.append((q, ct))
-            if use_pool and tasks:
-                if pool is None:
+                elif use_pool and generator is None and active:
                     pool = extraction_pool(scenario, gen.eps, nworkers)
-                for (q, ct), (records, sweep_s) in zip(task_meta, pool.map(_sweep_task, tasks)):
-                    timings.sweep_seconds += sweep_s
-                    absorb(q, ct, records)
-            else:
-                for (q, ct), task in zip(task_meta, tasks):
-                    records, sweep_s = sweep_position_batch(
-                        ev, approx, ct, task[1], los_chunk_size=los_chunk_size
-                    )
-                    timings.sweep_seconds += sweep_s
-                    absorb(q, ct, records)
-    finally:
-        if pool is not None:
-            pool.shutdown()
+                    pooled = positions_by_type_pooled(pool, scenario)
+                    for q, ct in active:
+                        pos_map[ct.name] = pooled.get(ct.name, np.zeros((0, 2)))
+                else:
+                    for q, ct in active:
+                        pos_map[ct.name] = gen.positions(ct)
+                for q, ct in active:
+                    positions_per_type[ct.name] = len(pos_map[ct.name])
+                    mreg.inc("extraction.positions", len(pos_map[ct.name]))
+                pos_sp.set(positions=sum(positions_per_type.values()))
 
-    total = time.perf_counter() - t_begin
-    in_process_sweep = 0.0 if use_pool else timings.sweep_seconds
-    timings.extraction_seconds = max(0.0, total - timings.dedupe_seconds - in_process_sweep)
-    timings.num_positions = sum(positions_per_type.values())
-    timings.num_candidates = len(strategies)
+            # Phase 2: PDCS sweeps (batched / pooled / legacy) + dedupe.
+            with trace.span("sweeps", batched=batched, pooled=use_pool) as sw_sp:
+                if not batched:
+                    for q, ct in active:
+                        positions = pos_map[ct.name]
+                        a_vec, b_vec = ev.coefficients(ct)
+                        mreg.inc("extraction.positions_swept", len(positions))
+                        for pos in positions:
+                            mask, dists, bearings = ev.coverable(ct, pos)
+                            t0 = time.perf_counter()
+                            point_strats = sweep_orientations(ct, mask, bearings)
+                            sweep_s += time.perf_counter() - t0
+                            if not point_strats:
+                                continue
+                            approx_full = approx.approx_powers(ct, dists)
+                            exact_full = a_vec / (dists + b_vec) ** 2
+                            records = [
+                                SweptCandidate(
+                                    (float(pos[0]), float(pos[1])),
+                                    ps.orientation,
+                                    ps.covered,
+                                    approx_full[np.asarray(ps.covered, dtype=int)],
+                                    exact_full[np.asarray(ps.covered, dtype=int)],
+                                )
+                                for ps in point_strats
+                            ]
+                            mreg.inc("extraction.candidates_raw", len(records))
+                            absorb(q, ct, records)
+                else:
+                    tasks: list[tuple[str, np.ndarray, int | None]] = []
+                    task_meta: list[tuple[int, object]] = []
+                    for q, ct in active:
+                        positions = pos_map[ct.name]
+                        for lo in range(0, len(positions), position_chunk):
+                            tasks.append(
+                                (ct.name, positions[lo : lo + position_chunk], los_chunk_size)
+                            )
+                            task_meta.append((q, ct))
+                    if use_pool and tasks:
+                        if pool is None:
+                            pool = extraction_pool(scenario, gen.eps, nworkers)
+                        for (q, ct), (records, task_sweep_s, snap) in zip(
+                            task_meta, pool.map(_sweep_task, tasks)
+                        ):
+                            sweep_s += task_sweep_s
+                            mreg.merge(snap)
+                            absorb(q, ct, records)
+                    else:
+                        for (q, ct), task in zip(task_meta, tasks):
+                            records, task_sweep_s = sweep_position_batch(
+                                ev,
+                                approx,
+                                ct,
+                                task[1],
+                                los_chunk_size=los_chunk_size,
+                                metrics=mreg,
+                            )
+                            sweep_s += task_sweep_s
+                            absorb(q, ct, records)
+                sw_sp.set(
+                    sweep_seconds=round(sweep_s, 6),
+                    dedupe_seconds=round(dedupe_s, 6),
+                    candidates=len(strategies),
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        ext_sp.set(
+            sweep_seconds=sweep_s,
+            dedupe_seconds=dedupe_s,
+            positions=sum(positions_per_type.values()),
+            candidates=len(strategies),
+        )
+
+    timings = PhaseTimings.from_trace(trace)
 
     if strategies:
         approx_power = np.vstack(approx_rows)
@@ -277,6 +369,7 @@ def select_strategies(
     lazy: bool = False,
     algorithm3_order: bool = False,
     refine: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[list[Strategy], GreedyResult]:
     """Algorithm 3: greedy strategy selection for heterogeneous chargers.
 
@@ -285,6 +378,11 @@ def select_strategies(
     (both carry the ``1/2`` guarantee).  ``lazy=True`` uses CELF.
     ``refine=True`` post-processes the greedy output with matroid-preserving
     swap local search (value never decreases; guarantee unchanged).
+
+    *metrics*, when given, records the greedy convergence: the
+    ``greedy.marginal_gain`` histogram (one observation per iteration),
+    iteration/evaluation counters, and — for ``lazy=True`` — the
+    evaluations CELF saved versus a full scan every round.
     """
     ev = scenario.evaluator()
     P = candidates.approx_power if objective_power == "approx" else candidates.exact_power
@@ -304,6 +402,14 @@ def select_strategies(
         refined = local_search_refine(objective, matroid, result.indices)
         if refined.value > result.value:
             result = refined
+    if metrics is not None:
+        metrics.inc("greedy.iterations", len(result.gains))
+        metrics.inc("greedy.evaluations", result.evaluations)
+        for gain in result.gains:
+            metrics.observe("greedy.marginal_gain", gain)
+        if lazy:
+            full_scan = candidates.num_candidates * max(1, len(result.gains))
+            metrics.inc("greedy.lazy_evaluations_saved", max(0, full_scan - result.evaluations))
     return [candidates.strategies[k] for k in result.indices], result
 
 
@@ -320,6 +426,8 @@ def solve_hipo(
     keep_candidates: bool = False,
     workers: int | None = None,
     batched: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> HIPOSolution:
     """Solve a HIPO instance end to end (the paper's full algorithm).
 
@@ -327,45 +435,71 @@ def solve_hipo(
     Eq. (4) for the selected strategies.  ``workers > 1`` runs the candidate
     extraction on a process pool (identical result, see
     :func:`build_candidate_set`).
+
+    Every solve is traced: a ``solve`` root span contains the
+    ``extraction`` and ``selection`` phase spans, and the returned
+    solution carries the :class:`~repro.obs.Tracer` plus a merged
+    :class:`~repro.obs.MetricsSnapshot` (``HIPOSolution.report()`` renders
+    both; ``repro solve --trace out.jsonl`` exports the JSONL).  Pass
+    *tracer* / *metrics* to aggregate several solves into one view.
     """
-    t0 = time.perf_counter()
-    candidates = build_candidate_set(
-        scenario,
+    trace = tracer if tracer is not None else Tracer()
+    mreg = metrics if metrics is not None else MetricsRegistry()
+    with trace.span(
+        "solve",
+        devices=scenario.num_devices,
+        chargers=scenario.num_chargers,
         eps=eps,
-        generator=generator,
-        positions_by_type=positions_by_type,
-        workers=workers,
-        batched=batched,
-    )
-    t1 = time.perf_counter()
-    strategies, greedy = select_strategies(
-        scenario,
-        candidates,
-        objective_power=objective_power,
-        lazy=lazy,
-        algorithm3_order=algorithm3_order,
-        refine=refine,
-    )
-    t2 = time.perf_counter()
-    ev = scenario.evaluator()
-    if greedy.indices:
-        exact_total = candidates.exact_power[greedy.indices].sum(axis=0)
-        approx_total = candidates.approx_power[greedy.indices].sum(axis=0)
-    else:
-        exact_total = np.zeros(ev.num_devices)
-        approx_total = np.zeros(ev.num_devices)
+        workers=max(1, int(workers or 1)),
+    ) as root_sp:
+        t0 = time.perf_counter()
+        candidates = build_candidate_set(
+            scenario,
+            eps=eps,
+            generator=generator,
+            positions_by_type=positions_by_type,
+            workers=workers,
+            batched=batched,
+            tracer=trace,
+            metrics=mreg,
+        )
+        t1 = time.perf_counter()
+        with trace.span("selection", candidates=candidates.num_candidates, lazy=lazy) as sel_sp:
+            strategies, greedy = select_strategies(
+                scenario,
+                candidates,
+                objective_power=objective_power,
+                lazy=lazy,
+                algorithm3_order=algorithm3_order,
+                refine=refine,
+                metrics=mreg,
+            )
+            sel_sp.set(selected=len(strategies), evaluations=greedy.evaluations)
+        t2 = time.perf_counter()
+        ev = scenario.evaluator()
+        if greedy.indices:
+            exact_total = candidates.exact_power[greedy.indices].sum(axis=0)
+            approx_total = candidates.approx_power[greedy.indices].sum(axis=0)
+        else:
+            exact_total = np.zeros(ev.num_devices)
+            approx_total = np.zeros(ev.num_devices)
+        utility = total_utility(exact_total, ev.thresholds)
+        root_sp.set(utility=round(float(utility), 6), selected=len(strategies))
+    mreg.record_peak_rss()
     timings = candidates.timings
     if timings is not None:
-        timings.selection_seconds = t2 - t1
+        timings.selection_seconds = sel_sp.wall_s
     return HIPOSolution(
         strategies=strategies,
-        utility=total_utility(exact_total, ev.thresholds),
+        utility=utility,
         approx_utility=total_utility(approx_total, ev.thresholds),
         candidate_set=candidates if keep_candidates else None,
         greedy=greedy,
         extraction_seconds=t1 - t0,
         selection_seconds=t2 - t1,
         timings=timings,
+        trace=trace,
+        metrics=mreg.snapshot(),
     )
 
 
@@ -418,4 +552,6 @@ def solve_hipo_hardened(
         extraction_seconds=inner.extraction_seconds,
         selection_seconds=inner.selection_seconds,
         timings=inner.timings,
+        trace=inner.trace,
+        metrics=inner.metrics,
     )

@@ -1,0 +1,46 @@
+"""Observability for the HIPO solve pipeline.
+
+Three pieces, documented in DESIGN.md §"Observability":
+
+* :mod:`~repro.obs.trace` — hierarchical span tracer with a versioned JSONL
+  export schema (``repro.trace/v1``) and a validator;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms with picklable
+  snapshots that merge across ``ProcessPoolExecutor`` workers;
+* :mod:`~repro.obs.report` / :mod:`~repro.obs.provenance` — human-readable
+  run reports and the ``meta``-stamped benchmark JSON writer.
+"""
+
+from .metrics import HistogramSummary, MetricsRegistry, MetricsSnapshot
+from .provenance import BENCH_SCHEMA, git_sha, run_meta, write_bench_json
+from .report import render_metrics, render_run_report, render_trace_tree
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA,
+    TraceValidationError,
+    Tracer,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceValidationError",
+    "Tracer",
+    "git_sha",
+    "render_metrics",
+    "render_run_report",
+    "render_trace_tree",
+    "run_meta",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "write_bench_json",
+]

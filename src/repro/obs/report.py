@@ -1,0 +1,100 @@
+"""Human-readable run reports: the per-phase span tree plus metric tables.
+
+Rendering is pure string formatting over a finished :class:`~.trace.Tracer`
+and a :class:`~.metrics.MetricsSnapshot`; nothing here touches the solver,
+so the module can format traces from any pipeline stage (solve, distributed
+measurement, benchmarks).
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsSnapshot
+from .trace import Span, Tracer
+
+__all__ = ["render_metrics", "render_run_report", "render_trace_tree"]
+
+#: Attributes rendered inline next to each span line (insertion order wins
+#: for anything not listed here).
+_HIDDEN_ATTRS = ("error",)
+
+
+def _format_attrs(span: Span) -> str:
+    parts = []
+    for key, value in span.attrs.items():
+        if key in _HIDDEN_ATTRS:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3f}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  " + " ".join(parts) if parts else ""
+
+
+def render_trace_tree(trace: Tracer) -> str:
+    """The span hierarchy as an indented tree with durations and counts.
+
+    Example::
+
+        solve                      0.412s
+        ├─ extraction              0.330s  workers=2 positions=52 candidates=118
+        │  ├─ positions            0.120s
+        │  └─ sweeps               0.190s  chunks=3 sweep_seconds=0.110
+        └─ selection               0.061s  iterations=6 evaluations=708
+    """
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str, child_prefix: str) -> None:
+        status = "" if span.status == "ok" else f" [{span.status}]"
+        label = f"{prefix}{span.name}{status}"
+        lines.append(f"{label:<28s} {span.wall_s:8.3f}s{_format_attrs(span)}")
+        kids = trace.children_of(span)
+        for i, kid in enumerate(kids):
+            last = i == len(kids) - 1
+            walk(
+                kid,
+                child_prefix + ("└─ " if last else "├─ "),
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    for root in sorted(trace.roots(), key=lambda s: s.start_s):
+        walk(root, "", "")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: MetricsSnapshot) -> str:
+    """Counters, gauges and histogram summaries as aligned text blocks."""
+    lines: list[str] = []
+    if snapshot.counters:
+        lines.append("counters:")
+        for name in sorted(snapshot.counters):
+            value = snapshot.counters[name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:<34s} {shown}")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        for name in sorted(snapshot.gauges):
+            lines.append(f"  {name:<34s} {snapshot.gauges[name]:.0f}")
+    if snapshot.histograms:
+        lines.append("histograms:")
+        for name in sorted(snapshot.histograms):
+            h = snapshot.histograms[name]
+            count = h.get("count", 0)
+            if count:
+                mean = h["total"] / count
+                lines.append(
+                    f"  {name:<34s} n={count} mean={mean:.6g} "
+                    f"min={h['min']:.6g} max={h['max']:.6g}"
+                )
+            else:
+                lines.append(f"  {name:<34s} n=0")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_run_report(trace: Tracer | None, snapshot: MetricsSnapshot | None) -> str:
+    """Full run report: span tree followed by the metric tables."""
+    sections: list[str] = []
+    if trace is not None and trace.spans:
+        sections.append(render_trace_tree(trace))
+    if snapshot is not None:
+        sections.append(render_metrics(snapshot))
+    return "\n\n".join(sections) if sections else "(no observability data recorded)"

@@ -1,0 +1,38 @@
+"""CLI validator for ``repro.trace/v1`` JSONL files.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.validate out.jsonl
+
+Exits 0 and prints a one-line summary when the trace is valid; exits 1
+with the violation otherwise.  Used by ``scripts/ci.sh`` to gate the smoke
+``repro solve --trace`` run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .trace import TraceValidationError, validate_trace_file
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="validate a repro JSONL trace")
+    parser.add_argument("path", help="JSONL trace file (from `repro solve --trace`)")
+    args = parser.parse_args(argv)
+    try:
+        spans = validate_trace_file(args.path)
+    except (OSError, TraceValidationError) as exc:
+        print(f"trace INVALID: {exc}", file=sys.stderr)
+        return 1
+    roots = [s for s in spans if s["parent_id"] is None]
+    root_names = ",".join(s["name"] for s in roots)
+    print(f"trace ok: {len(spans)} spans, {len(roots)} root(s) [{root_names}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

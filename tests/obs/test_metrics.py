@@ -1,0 +1,78 @@
+"""Metrics registry: instruments, picklable snapshots, cross-registry merge."""
+
+import json
+import pickle
+
+from repro.obs import HistogramSummary, MetricsRegistry, MetricsSnapshot
+
+
+def test_counters_gauges_histograms():
+    m = MetricsRegistry()
+    m.inc("c")
+    m.inc("c", 4)
+    m.gauge("g", 10.0)
+    m.gauge("g", 7.0)  # gauges keep the max
+    m.gauge("g", 12.0)
+    for v in (1.0, 3.0, 2.0):
+        m.observe("h", v)
+    assert m.counter("c") == 5
+    assert m.counter("absent") == 0
+    assert m.gauge_value("g") == 12.0
+    h = m.histogram("h")
+    assert (h.count, h.total, h.min, h.max) == (3, 6.0, 1.0, 3.0)
+    assert h.mean == 2.0
+
+
+def test_snapshot_is_picklable_and_jsonable():
+    m = MetricsRegistry()
+    m.inc("a", 2)
+    m.gauge("g", 1.5)
+    m.observe("h", 0.25)
+    snap = m.snapshot()
+    clone = pickle.loads(pickle.dumps(snap))
+    assert isinstance(clone, MetricsSnapshot)
+    assert clone.counters == {"a": 2}
+    assert clone.histograms["h"]["count"] == 1
+    # JSON-serializable without custom encoders (bench meta embeds this).
+    assert json.loads(json.dumps(snap.to_dict()))["gauges"]["g"] == 1.5
+
+
+def test_merge_adds_counters_maxes_gauges_combines_histograms():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("c", 3)
+    b.inc("c", 4)
+    b.inc("only_b")
+    a.gauge("g", 5.0)
+    b.gauge("g", 9.0)
+    a.observe("h", 1.0)
+    b.observe("h", 5.0)
+    b.observe("h2", 2.0)
+    a.merge(b.snapshot())
+    assert a.counter("c") == 7
+    assert a.counter("only_b") == 1
+    assert a.gauge_value("g") == 9.0
+    h = a.histogram("h")
+    assert (h.count, h.min, h.max) == (2, 1.0, 5.0)
+    assert a.histogram("h2").count == 1
+
+
+def test_merge_registry_directly_and_empty_histogram():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    b.inc("x")
+    a.merge(b)  # registry (not snapshot) also accepted
+    assert a.counter("x") == 1
+    empty = HistogramSummary()
+    assert empty.to_dict() == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+    filled = HistogramSummary()
+    filled.observe(2.0)
+    filled.merge(empty.to_dict())  # merging an empty summary is a no-op
+    assert (filled.count, filled.min, filled.max) == (1, 2.0, 2.0)
+
+
+def test_record_peak_rss_sets_gauge_on_linux():
+    m = MetricsRegistry()
+    m.record_peak_rss()
+    peak = m.gauge_value("mem.peak_rss_bytes")
+    assert peak is None or peak > 1024  # present on unix, sane if present

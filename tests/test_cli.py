@@ -38,6 +38,45 @@ def test_solve_small(capsys, tmp_path):
     assert svg.exists() and svg.read_text().startswith("<svg")
 
 
+def test_solve_trace_metrics_and_json_timings(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_trace_file
+
+    trace = tmp_path / "trace.jsonl"
+    rc = main(
+        [
+            "solve",
+            "--seed",
+            "3",
+            "--devices",
+            "1",
+            "--chargers",
+            "1",
+            "--trace",
+            str(trace),
+            "--metrics",
+            "--timings",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    # --timings --json emits a machine-readable breakdown.
+    start = out.index("{")
+    payload = json.loads(out[start : out.index("}", start) + 1])
+    assert "extraction_seconds" in payload and "workers" in payload
+    # --metrics renders the per-phase tree with counts.
+    assert "extraction" in out and "selection" in out and "counters:" in out
+    # --trace wrote a schema-valid JSONL trace whose root covers the phases.
+    spans = validate_trace_file(trace)
+    names = [s["name"] for s in spans]
+    assert "solve" in names and "extraction" in names and "selection" in names
+    root = next(s for s in spans if s["parent_id"] is None)
+    phases = [s for s in spans if s["parent_id"] == root["span_id"]]
+    assert root["wall_s"] >= sum(s["wall_s"] for s in phases) - 1e-4
+
+
 def test_compare_small(capsys):
     rc = main(["compare", "--seed", "3", "--devices", "1", "--chargers", "1"])
     assert rc == 0
