@@ -1,9 +1,15 @@
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-scaling ci
+.PHONY: test bench-smoke bench-scaling serve serve-smoke ci
 
 test:
 	$(PYTHONPATH_PREFIX) python -m pytest -x -q
+
+serve:
+	$(PYTHONPATH_PREFIX) python -m repro serve --port 8080
+
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench-smoke:
 	$(PYTHONPATH_PREFIX) python benchmarks/bench_extraction_scaling.py --smoke --out /tmp/bench_extraction_smoke.json

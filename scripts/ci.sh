@@ -1,10 +1,13 @@
 #!/bin/sh
 # Tier-1 gate: full test suite, the extraction-scaling bench in smoke mode
 # (tiny scenario; asserts the bench completes and emits well-formed
-# meta-stamped JSON, not any particular speedup), and an observability
+# meta-stamped JSON, not any particular speedup), an observability
 # smoke run: a traced multi-worker solve whose JSONL trace must validate
 # against the repro.trace/v1 schema (every line parses, required keys
-# present, root span covers child spans).
+# present, root span covers child spans), and a serve smoke run: boot
+# `repro serve`, health-check it over HTTP, verify a cached solve
+# round-trip (second POST must be served from cache, byte-identical),
+# then shut it down cleanly via SIGTERM.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,3 +29,5 @@ TRACE_OUT="${TMPDIR:-/tmp}/repro_trace_smoke.jsonl"
 python -m repro solve --seed 3 --devices 1 --chargers 1 --workers 2 \
     --trace "$TRACE_OUT" --metrics --timings --json > /dev/null
 python -m repro.obs.validate "$TRACE_OUT"
+
+sh scripts/serve_smoke.sh

@@ -37,6 +37,10 @@ Package layout
     ``repro.trace/v1``), a metrics registry whose snapshots merge across
     process-pool workers, run reports, and provenance-stamped benchmark
     artifacts.
+``repro.serve``
+    The solve service: bounded priority job queue, solver worker pool with
+    cooperative cancellation/timeouts, content-addressed result cache, and
+    a stdlib HTTP API (``repro serve --port 8080``).
 """
 
 from .core import HIPOSolution, build_candidate_set, solve_hipo, solve_hipo_hardened

@@ -11,6 +11,9 @@ Commands
     Regenerate one paper figure's series (``fig11a`` … ``fig15``).
 ``field``
     Reproduce the §7 field experiment comparison.
+``serve``
+    Run the HTTP solve service (``repro.serve``): job queue, worker pool,
+    content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -21,6 +24,29 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        from . import __version__
+
+        return __version__
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for counts that must be >= 1 (workers, pool size)."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if n <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {n}")
+    return n
+
 
 FIGURES = (
     "fig11a",
@@ -41,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="HIPO: heterogeneous wireless charger placement with obstacles",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="solve one random instance with HIPO")
@@ -50,7 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--eps", type=float, default=0.15)
     solve.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="process-pool workers for candidate extraction (1 = in-process)",
     )
@@ -106,6 +135,42 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="diagnose a saved scenario JSON")
     validate.add_argument("path", type=str)
     validate.add_argument("--no-reachability", action="store_true", help="skip the reachability scan")
+
+    serve = sub.add_parser("serve", help="run the HTTP solve service (docs/serving.md)")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    serve.add_argument(
+        "--pool-size",
+        type=_positive_int,
+        default=2,
+        help="solver worker threads executing queued jobs",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=64,
+        help="queued-job capacity; submissions beyond it get HTTP 429",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=_positive_int,
+        default=256,
+        help="max entries in the content-addressed result cache",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=_positive_int,
+        default=64 * 1024 * 1024,
+        help="max total bytes of cached results (LRU-evicted)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job timeout (measured from submission)",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
     return parser
 
 
@@ -225,6 +290,21 @@ def _cmd_field(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_size,
+        cache_bytes=args.cache_bytes,
+        default_timeout_s=args.timeout,
+        verbose=not args.quiet,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -235,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         "field": _cmd_field,
         "report": _cmd_report,
         "validate": _cmd_validate,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

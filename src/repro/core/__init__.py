@@ -4,8 +4,10 @@ from .areas import INFEASIBLE, AreaCount, FeasibleAreaIndex
 from .approximation import ApproxPowerCalculator, PairApproximation, epsilon1_for
 from .candidates import BoundaryCurves, CandidateGenerator
 from .distributed import (
+    SolveCancelled,
     TaskMeasurement,
     assign_tasks,
+    check_cancel,
     extraction_pool,
     measure_task_costs,
     parallel_positions_by_type,
@@ -42,10 +44,12 @@ __all__ = [
     "PairApproximation",
     "PhaseTimings",
     "PointStrategy",
+    "SolveCancelled",
     "SweptCandidate",
     "TaskMeasurement",
     "assign_tasks",
     "build_candidate_set",
+    "check_cancel",
     "epsilon1_for",
     "extract_pdcs_at_point",
     "extraction_pool",

@@ -33,7 +33,9 @@ from ..opt.scheduling import Schedule, lpt_schedule
 from .candidates import CandidateGenerator
 
 __all__ = [
+    "SolveCancelled",
     "TaskMeasurement",
+    "check_cancel",
     "extraction_pool",
     "measure_task_costs",
     "simulate_distributed_times",
@@ -41,6 +43,28 @@ __all__ = [
     "parallel_positions_by_type",
     "positions_by_type_pooled",
 ]
+
+
+class SolveCancelled(RuntimeError):
+    """A cooperative cancellation fired mid-solve.
+
+    The extraction pipeline polls a caller-supplied *cancel* token (anything
+    with an ``is_set() -> bool``, e.g. a ``threading.Event``) between
+    per-device tasks and between sweep chunks.  Long solves therefore stop
+    within one task of the token being set — this is how ``repro.serve``
+    implements job cancellation and per-job timeouts without killing worker
+    processes.
+    """
+
+
+def check_cancel(cancel) -> None:
+    """Raise :class:`SolveCancelled` when the *cancel* token is set.
+
+    ``None`` (the default everywhere) is a no-op, so the hook costs one
+    attribute check on the hot paths that poll it.
+    """
+    if cancel is not None and cancel.is_set():
+        raise SolveCancelled("solve cancelled by caller")
 
 
 @dataclass
@@ -62,6 +86,7 @@ def measure_task_costs(
     eps: float = 0.15,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cancel=None,
 ) -> TaskMeasurement:
     """Run every per-device task serially, timing each (Algorithm 4 unit).
 
@@ -81,6 +106,7 @@ def measure_task_costs(
     chunks: dict[str, list[np.ndarray]] = {ct.name: [] for ct in scenario.charger_types}
     with trace.span("measure_tasks", devices=n) as msp:
         for i in range(n):
+            check_cancel(cancel)
             with trace.span("task", device=i) as tsp:
                 t0 = time.perf_counter()
                 for ct in scenario.charger_types:
@@ -213,23 +239,27 @@ def _gather_positions(results, scenario: Scenario) -> dict[str, np.ndarray]:
 
 
 def positions_by_type_pooled(
-    pool: ProcessPoolExecutor, scenario: Scenario
+    pool: ProcessPoolExecutor, scenario: Scenario, *, cancel=None
 ) -> dict[str, np.ndarray]:
     """All candidate positions per type, using an :func:`extraction_pool`.
 
     Task order (device index ascending) matches the serial
     :meth:`CandidateGenerator.positions` chunk order, so the deduplicated
-    result is *identical* to the serial one, not just set-equal.
+    result is *identical* to the serial one, not just set-equal.  The
+    *cancel* token is polled as task results stream back.
     """
     n = scenario.num_devices
     if n == 0:
         return {ct.name: np.zeros((0, 2)) for ct in scenario.charger_types}
-    results = pool.map(_positions_task, range(n))
+    results = []
+    for res in pool.map(_positions_task, range(n)):
+        check_cancel(cancel)
+        results.append(res)
     return _gather_positions(results, scenario)
 
 
 def parallel_positions_by_type(
-    scenario: Scenario, *, eps: float = 0.15, workers: int | None = None
+    scenario: Scenario, *, eps: float = 0.15, workers: int | None = None, cancel=None
 ) -> dict[str, np.ndarray]:
     """Real multi-process extraction of all candidate positions.
 
@@ -246,6 +276,7 @@ def parallel_positions_by_type(
         gen = CandidateGenerator(scenario, eps=eps)
         results = []
         for i in range(n):
+            check_cancel(cancel)
             out: dict[str, np.ndarray] = {}
             for ct in scenario.charger_types:
                 if scenario.budgets.get(ct.name, 0) == 0:
@@ -256,4 +287,4 @@ def parallel_positions_by_type(
             results.append(out)
         return _gather_positions(results, scenario)
     with extraction_pool(scenario, eps, workers) as pool:
-        return positions_by_type_pooled(pool, scenario)
+        return positions_by_type_pooled(pool, scenario, cancel=cancel)

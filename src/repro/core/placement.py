@@ -36,7 +36,12 @@ from ..opt.submodular import (
     lazy_greedy_matroid,
 )
 from .candidates import CandidateGenerator
-from .distributed import _sweep_task, extraction_pool, positions_by_type_pooled
+from .distributed import (
+    _sweep_task,
+    check_cancel,
+    extraction_pool,
+    positions_by_type_pooled,
+)
 from .pdcs import SweptCandidate, sweep_orientations, sweep_position_batch
 
 __all__ = [
@@ -187,8 +192,14 @@ def build_candidate_set(
     los_chunk_size: int | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cancel=None,
 ) -> CandidateSet:
     """Run candidate extraction + PDCS sweeps and assemble the power matrices.
+
+    *cancel* is a cooperative cancellation token (``is_set() -> bool``,
+    e.g. ``threading.Event``) polled between per-device position tasks and
+    between sweep chunks; when it fires the build raises
+    :class:`~repro.core.distributed.SolveCancelled`.
 
     *positions_by_type* overrides the geometric candidate positions (used by
     the grid baselines, the distributed extractor and the ablation benches) —
@@ -263,11 +274,12 @@ def build_candidate_set(
                         )
                 elif use_pool and generator is None and active:
                     pool = extraction_pool(scenario, gen.eps, nworkers)
-                    pooled = positions_by_type_pooled(pool, scenario)
+                    pooled = positions_by_type_pooled(pool, scenario, cancel=cancel)
                     for q, ct in active:
                         pos_map[ct.name] = pooled.get(ct.name, np.zeros((0, 2)))
                 else:
                     for q, ct in active:
+                        check_cancel(cancel)
                         pos_map[ct.name] = gen.positions(ct)
                 for q, ct in active:
                     positions_per_type[ct.name] = len(pos_map[ct.name])
@@ -282,6 +294,7 @@ def build_candidate_set(
                         a_vec, b_vec = ev.coefficients(ct)
                         mreg.inc("extraction.positions_swept", len(positions))
                         for pos in positions:
+                            check_cancel(cancel)
                             mask, dists, bearings = ev.coverable(ct, pos)
                             t0 = time.perf_counter()
                             point_strats = sweep_orientations(ct, mask, bearings)
@@ -318,11 +331,13 @@ def build_candidate_set(
                         for (q, ct), (records, task_sweep_s, snap) in zip(
                             task_meta, pool.map(_sweep_task, tasks)
                         ):
+                            check_cancel(cancel)
                             sweep_s += task_sweep_s
                             mreg.merge(snap)
                             absorb(q, ct, records)
                     else:
                         for (q, ct), task in zip(task_meta, tasks):
+                            check_cancel(cancel)
                             records, task_sweep_s = sweep_position_batch(
                                 ev,
                                 approx,
@@ -428,13 +443,17 @@ def solve_hipo(
     batched: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cancel=None,
 ) -> HIPOSolution:
     """Solve a HIPO instance end to end (the paper's full algorithm).
 
     Returns a :class:`HIPOSolution`; ``utility`` is the exact objective of
     Eq. (4) for the selected strategies.  ``workers > 1`` runs the candidate
     extraction on a process pool (identical result, see
-    :func:`build_candidate_set`).
+    :func:`build_candidate_set`).  *cancel* is a cooperative cancellation
+    token polled throughout extraction and before selection
+    (:class:`~repro.core.distributed.SolveCancelled` on fire) — the
+    mechanism behind ``repro.serve`` job timeouts and cancellation.
 
     Every solve is traced: a ``solve`` root span contains the
     ``extraction`` and ``selection`` phase spans, and the returned
@@ -462,8 +481,10 @@ def solve_hipo(
             batched=batched,
             tracer=trace,
             metrics=mreg,
+            cancel=cancel,
         )
         t1 = time.perf_counter()
+        check_cancel(cancel)
         with trace.span("selection", candidates=candidates.num_candidates, lazy=lazy) as sel_sp:
             strategies, greedy = select_strategies(
                 scenario,

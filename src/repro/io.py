@@ -22,7 +22,9 @@ Format (version 1)::
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from typing import Sequence
 
 from .geometry import Polygon
@@ -37,6 +39,8 @@ from .model import (
 )
 
 __all__ = [
+    "canonical_json",
+    "canonical_scenario_hash",
     "scenario_to_dict",
     "scenario_from_dict",
     "strategies_to_list",
@@ -46,6 +50,61 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+
+
+def _canonicalize(obj, path: str):
+    """Normalize *obj* to plain JSON types with deterministic numbers.
+
+    Floats with an exact integer value collapse to ints (``5.0`` and ``5``
+    hash identically), ``-0.0`` collapses to ``0``, and non-finite numbers
+    are rejected — JSON round-trips must not change the key.
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite number at {path}: {obj!r}")
+        if obj.is_integer():
+            return int(obj)
+        return obj
+    if isinstance(obj, dict):
+        out = {}
+        for key in sorted(obj):
+            if not isinstance(key, str):
+                raise ValueError(f"non-string key at {path}: {key!r}")
+            out[key] = _canonicalize(obj[key], f"{path}.{key}")
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_canonicalize(v, f"{path}[{i}]") for i, v in enumerate(obj)]
+    # numpy scalars and similar: anything exposing item() collapses to a
+    # python number, then re-canonicalizes.
+    if hasattr(obj, "item"):
+        return _canonicalize(obj.item(), path)
+    raise ValueError(f"unhashable value at {path}: {type(obj).__name__}")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace, normalized
+    numbers (see :func:`canonical_scenario_hash`)."""
+    return json.dumps(_canonicalize(obj, "$"), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_scenario_hash(scenario: Scenario | dict, params: dict | None = None) -> str:
+    """Content address of a solve request: SHA-256 over the canonical JSON
+    of the scenario plus solver params.
+
+    *scenario* may be a :class:`~repro.model.Scenario` (serialized via
+    :func:`scenario_to_dict`) or an already-serialized scenario dict.  A
+    stored ``"strategies"`` key is excluded — a prior placement riding along
+    in the file does not change what a solver would compute.  Keys are
+    sorted recursively and floats normalized (integral floats become ints,
+    ``-0.0`` becomes ``0``), so semantically identical requests hash
+    identically regardless of key order or float spelling.
+    """
+    data = scenario_to_dict(scenario) if isinstance(scenario, Scenario) else dict(scenario)
+    data.pop("strategies", None)
+    payload = {"scenario": data, "params": params or {}}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 def scenario_to_dict(scenario: Scenario, strategies: Sequence[Strategy] = ()) -> dict:
@@ -91,32 +150,77 @@ def scenario_to_dict(scenario: Scenario, strategies: Sequence[Strategy] = ()) ->
     return out
 
 
+def _field(obj: dict, key: str, where: str):
+    """``obj[key]`` with an error that names the missing field and its
+    location instead of a bare ``KeyError``."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"{where}: expected an object, got {type(obj).__name__}")
+    try:
+        return obj[key]
+    except KeyError:
+        raise ValueError(f"{where}: missing required field {key!r}") from None
+
+
 def scenario_from_dict(data: dict) -> tuple[Scenario, list[Strategy]]:
-    """Rebuild a scenario (and any stored placement) from JSON data."""
+    """Rebuild a scenario (and any stored placement) from JSON data.
+
+    Malformed input raises :class:`ValueError` naming the offending field
+    (e.g. ``devices[2]: missing required field 'threshold'``) rather than a
+    bare ``KeyError``, so CLI and HTTP callers get an actionable message.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"scenario: expected a JSON object, got {type(data).__name__}")
     version = data.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported scenario format version {version!r}")
-    ctypes = {
-        c["name"]: ChargerType(c["name"], c["charging_angle"], c["dmin"], c["dmax"])
-        for c in data["charger_types"]
-    }
-    dtypes = {
-        d["name"]: DeviceType(d["name"], d["receiving_angle"]) for d in data["device_types"]
-    }
-    table = CoefficientTable(
-        {
-            (c["charger"], c["device"]): PairCoefficients(c["a"], c["b"])
-            for c in data["coefficients"]
-        }
-    )
-    devices = tuple(
-        Device(tuple(d["position"]), d["orientation"], dtypes[d["type"]], d["threshold"])
-        for d in data["devices"]
-    )
+    for key in ("bounds", "charger_types", "device_types", "coefficients", "budgets", "devices", "obstacles"):
+        if key not in data:
+            raise ValueError(f"scenario: missing required field {key!r}")
+    ctypes = {}
+    for i, c in enumerate(data["charger_types"]):
+        where = f"charger_types[{i}]"
+        ctypes[_field(c, "name", where)] = ChargerType(
+            c["name"],
+            _field(c, "charging_angle", where),
+            _field(c, "dmin", where),
+            _field(c, "dmax", where),
+        )
+    dtypes = {}
+    for i, d in enumerate(data["device_types"]):
+        where = f"device_types[{i}]"
+        dtypes[_field(d, "name", where)] = DeviceType(
+            d["name"], _field(d, "receiving_angle", where)
+        )
+    entries = {}
+    for i, c in enumerate(data["coefficients"]):
+        where = f"coefficients[{i}]"
+        entries[(_field(c, "charger", where), _field(c, "device", where))] = PairCoefficients(
+            _field(c, "a", where), _field(c, "b", where)
+        )
+    table = CoefficientTable(entries)
+    devices = []
+    for i, d in enumerate(data["devices"]):
+        where = f"devices[{i}]"
+        type_name = _field(d, "type", where)
+        if type_name not in dtypes:
+            raise ValueError(f"{where}: unknown device type {type_name!r}")
+        devices.append(
+            Device(
+                tuple(_field(d, "position", where)),
+                _field(d, "orientation", where),
+                dtypes[type_name],
+                _field(d, "threshold", where),
+            )
+        )
     obstacles = tuple(Polygon(vs) for vs in data["obstacles"])
+    bounds = tuple(data["bounds"])
+    if len(bounds) != 4:
+        raise ValueError(f"bounds: expected [xmin, ymin, xmax, ymax], got {len(bounds)} values")
+    if not isinstance(data["budgets"], dict):
+        raise ValueError("budgets: expected an object mapping charger type -> count")
     scenario = Scenario(
-        bounds=tuple(data["bounds"]),
-        devices=devices,
+        bounds=bounds,
+        devices=tuple(devices),
         obstacles=obstacles,
         charger_types=tuple(ctypes.values()),
         budgets={k: int(v) for k, v in data["budgets"].items()},

@@ -1,0 +1,507 @@
+"""HTTP solve service: validation, caching, backpressure, observability.
+
+Two layers:
+
+* :class:`SolveService` — transport-agnostic façade tying together the
+  :class:`~repro.serve.jobs.JobQueue`, the
+  :class:`~repro.serve.cache.SolveCache`, the
+  :class:`~repro.serve.pool.SolverPool` and a shared
+  :class:`~repro.obs.MetricsRegistry`.  Tests drive it directly.
+* :func:`create_server` — a stdlib ``ThreadingHTTPServer`` exposing the
+  service as a small JSON API.
+
+Endpoints (all JSON)::
+
+    POST   /v1/solve      submit a scenario; 200 on cache hit (result
+                          inline), 202 + job id on enqueue, 400 on invalid
+                          request, 429 when the queue is full
+    GET    /v1/jobs/<id>  job status; carries result when state == "done"
+                          and the per-job repro.trace/v1 span list
+    DELETE /v1/jobs/<id>  cancel (cooperative for running jobs)
+    GET    /v1/healthz    liveness: worker threads, queue depth, uptime
+    GET    /v1/metrics    metrics snapshot + live queue/cache views
+
+Request body for ``POST /v1/solve``::
+
+    {
+      "scenario": { ... repro.io scenario format ... },
+      "params":   {"eps": 0.15, "workers": 1, "lazy": false,
+                   "refine": false, "algorithm3_order": false,
+                   "objective_power": "approx"},          # all optional
+      "priority": 0,          # higher runs first
+      "timeout_s": 60.0,      # measured from submission
+      "validate": true,       # run repro.model.validation first
+      "use_cache": true
+    }
+
+Every error is the envelope ``{"error": {"code", "message", ...}}``.
+Scenarios are validated with :func:`repro.model.validate_scenario` before
+queueing, so ill-posed instances fail fast with a 400 naming the issues
+instead of burning a worker.
+
+Results are content-addressed: the cache key is
+:func:`repro.io.canonical_scenario_hash` over the scenario plus the
+result-affecting params (``workers`` is excluded — worker count changes
+wall-clock, never the placement).  A cache hit is served synchronously as an
+already-``done`` job whose trace holds a ``cache.lookup`` span and **no**
+``solve`` span, and whose result bytes are identical to the original solve's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core import solve_hipo
+from ..io import canonical_scenario_hash, scenario_from_dict
+from ..model import validate_scenario
+from ..obs import MetricsRegistry, Tracer
+from .cache import SolveCache
+from .jobs import Job, JobQueue, JobState, QueueFull, UnknownJob
+from .pool import SolverPool
+
+__all__ = [
+    "BadRequest",
+    "SolveService",
+    "create_server",
+    "run_server",
+]
+
+#: Largest accepted request body (a 413 beyond this).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Solver params accepted from clients: name -> (validator, default).
+_PARAM_SPECS = {
+    "eps": ("positive float < 1", lambda v: isinstance(v, (int, float)) and 0 < v < 1),
+    "workers": ("positive integer", lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 1),
+    "lazy": ("boolean", lambda v: isinstance(v, bool)),
+    "refine": ("boolean", lambda v: isinstance(v, bool)),
+    "algorithm3_order": ("boolean", lambda v: isinstance(v, bool)),
+    "objective_power": ('"approx" or "exact"', lambda v: v in ("approx", "exact")),
+}
+
+#: Params that change the solve result and therefore the cache key.
+_KEY_PARAMS = ("eps", "lazy", "refine", "algorithm3_order", "objective_power")
+
+
+class BadRequest(ValueError):
+    """Client error; becomes a 400 with the given code + message."""
+
+    def __init__(self, message: str, *, code: str = "bad-request", details=None):
+        super().__init__(message)
+        self.code = code
+        self.details = details
+
+
+def _validate_params(params) -> dict:
+    if params is None:
+        return {}
+    if not isinstance(params, dict):
+        raise BadRequest("params: expected an object", code="invalid-params")
+    out = {}
+    for name, value in params.items():
+        spec = _PARAM_SPECS.get(name)
+        if spec is None:
+            raise BadRequest(
+                f"params.{name}: unknown parameter (known: {', '.join(sorted(_PARAM_SPECS))})",
+                code="invalid-params",
+            )
+        label, check = spec
+        if not check(value):
+            raise BadRequest(
+                f"params.{name}: expected {label}, got {value!r}", code="invalid-params"
+            )
+        out[name] = value
+    return out
+
+
+class SolveService:
+    """The solve service behind the HTTP API (usable without HTTP)."""
+
+    def __init__(
+        self,
+        *,
+        pool_size: int = 2,
+        queue_size: int = 64,
+        cache_entries: int = 256,
+        cache_bytes: int = 64 * 1024 * 1024,
+        default_timeout_s: float | None = None,
+        validate_default: bool = True,
+    ):
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self.queue = JobQueue(queue_size)
+        self.cache = SolveCache(cache_entries, cache_bytes, metrics=self.metrics)
+        self.pool = SolverPool(self.queue, self._run_job, size=pool_size, metrics=self.metrics)
+        self.default_timeout_s = default_timeout_s
+        self.validate_default = validate_default
+        self.started_monotonic = time.monotonic()
+        #: Recent per-request span dicts (bounded; served for debugging).
+        self.request_log: deque = deque(maxlen=256)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "SolveService":
+        self.pool.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.inc(name, amount)
+
+    # -- submission ------------------------------------------------------
+    def submit(self, body: dict) -> tuple[Job, bool]:
+        """Validate and submit one solve request.
+
+        Returns ``(job, cached)``; *cached* jobs are already ``done``.
+        Raises :class:`BadRequest` on invalid input and
+        :class:`~repro.serve.jobs.QueueFull` at capacity.
+        """
+        if not isinstance(body, dict):
+            raise BadRequest("request body must be a JSON object")
+        scenario_data = body.get("scenario")
+        if not isinstance(scenario_data, dict):
+            raise BadRequest('missing required field "scenario" (object)', code="missing-scenario")
+        params = _validate_params(body.get("params"))
+        priority = body.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise BadRequest(f"priority: expected an integer, got {priority!r}")
+        timeout_s = body.get("timeout_s", self.default_timeout_s)
+        if timeout_s is not None and (
+            not isinstance(timeout_s, (int, float)) or isinstance(timeout_s, bool) or timeout_s <= 0
+        ):
+            raise BadRequest(f"timeout_s: expected a positive number, got {timeout_s!r}")
+        use_cache = body.get("use_cache", True)
+        if not isinstance(use_cache, bool):
+            raise BadRequest(f"use_cache: expected a boolean, got {use_cache!r}")
+        run_validation = body.get("validate", self.validate_default)
+        if not isinstance(run_validation, bool):
+            raise BadRequest(f"validate: expected a boolean, got {run_validation!r}")
+
+        try:
+            scenario, _ = scenario_from_dict(scenario_data)
+        except ValueError as exc:
+            raise BadRequest(str(exc), code="invalid-scenario") from exc
+        if run_validation:
+            report = validate_scenario(scenario, check_reachability=False)
+            if not report.ok:
+                raise BadRequest(
+                    "scenario failed validation",
+                    code="invalid-scenario",
+                    details=[
+                        {"severity": i.severity, "code": i.code, "message": i.message}
+                        for i in report.issues
+                    ],
+                )
+
+        key = canonical_scenario_hash(
+            scenario_data, {k: params[k] for k in _KEY_PARAMS if k in params}
+        )
+        if use_cache:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return self._cached_job(key, hit, priority), True
+
+        job = self.queue.submit(
+            {"scenario": scenario_data, "params": params, "use_cache": use_cache},
+            priority=priority,
+            timeout_s=timeout_s,
+            cache_key=key,
+        )
+        self._count("serve.jobs.submitted")
+        with self._metrics_lock:
+            self.metrics.gauge("serve.queue.peak_depth", float(self.queue.depth))
+        return job, False
+
+    def _cached_job(self, key: str, payload: dict, priority: int) -> Job:
+        """Materialize a cache hit as an already-finished job (uniform
+        ``GET /v1/jobs/<id>`` semantics).  Its trace has no ``solve`` span."""
+        tracer = Tracer()
+        with tracer.span("job", cached=True, priority=priority):
+            with tracer.span("cache.lookup", key=key, hit=True):
+                pass
+        now = time.monotonic()
+        job = Job(
+            id=uuid.uuid4().hex[:16],
+            request={},
+            priority=priority,
+            cache_key=key,
+            submitted_s=now,
+            started_s=now,
+            finished_s=now,
+            state=JobState.DONE,
+            result=payload,
+            cached=True,
+            trace=[sp.to_dict() for sp in sorted(tracer.spans, key=lambda s: s.start_s)],
+        )
+        self.queue.add_finished(job)
+        return job
+
+    # -- job execution (runs on pool worker threads) ---------------------
+    def _run_job(self, job: Job, tracer: Tracer) -> dict:
+        request = job.request
+        params = request["params"]
+        scenario, _ = scenario_from_dict(request["scenario"])
+        job_metrics = MetricsRegistry()
+        solution = solve_hipo(
+            scenario,
+            eps=params.get("eps", 0.15),
+            workers=params.get("workers", 1),
+            lazy=params.get("lazy", False),
+            refine=params.get("refine", False),
+            algorithm3_order=params.get("algorithm3_order", False),
+            objective_power=params.get("objective_power", "approx"),
+            tracer=tracer,
+            metrics=job_metrics,
+            cancel=job.cancel,
+        )
+        payload = {
+            "scenario_hash": job.cache_key,
+            "num_devices": scenario.num_devices,
+            "num_chargers": scenario.num_chargers,
+            "utility": solution.utility,
+            "approx_utility": solution.approx_utility,
+            "strategies": [
+                {
+                    "position": [float(s.position[0]), float(s.position[1])],
+                    "orientation": float(s.orientation),
+                    "type": s.ctype.name,
+                }
+                for s in solution.strategies
+            ],
+            "params": {k: params[k] for k in sorted(params) if k != "workers"},
+        }
+        if request.get("use_cache", True):
+            self.cache.put(job.cache_key, payload)
+        with self._metrics_lock:
+            self.metrics.merge(job_metrics)
+        return payload
+
+    # -- reads -----------------------------------------------------------
+    def job_status(self, job_id: str, *, include_trace: bool = True) -> dict:
+        return self.queue.get(job_id).to_dict(include_trace=include_trace)
+
+    def cancel_job(self, job_id: str) -> dict:
+        job = self.queue.cancel(job_id)
+        return {"id": job.id, "state": job.state, "cancel_requested": True}
+
+    def healthz(self) -> dict:
+        alive = self.pool.alive
+        status = "ok" if alive == self.pool.size else "degraded"
+        return {
+            "status": status,
+            "workers": self.pool.size,
+            "workers_alive": alive,
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.maxsize,
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+        }
+
+    def metrics_payload(self) -> dict:
+        with self._metrics_lock:
+            snapshot = self.metrics.snapshot().to_dict()
+        return {
+            "metrics": snapshot,
+            "queue": {
+                "depth": self.queue.depth,
+                "capacity": self.queue.maxsize,
+                "running": self.pool.running_jobs,
+                "states": self.queue.counts(),
+            },
+            "cache": self.cache.stats(),
+            "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
+        }
+
+    # -- per-request observability ---------------------------------------
+    def observe_request(self, method: str, route: str, status: int, seconds: float) -> None:
+        """Record one HTTP request: counters + histogram + a span dict in
+        the bounded request log (each request is its own one-span trace)."""
+        tracer = Tracer()
+        with tracer.span("http.request", method=method, route=route, status=status) as sp:
+            pass
+        sp.wall_s = seconds  # the handler measured the real duration
+        self.request_log.append(sp.to_dict())
+        with self._metrics_lock:
+            self.metrics.inc("serve.requests")
+            self.metrics.inc(f"serve.requests.{method.lower()}")
+            self.metrics.inc(f"serve.responses.{status}")
+            self.metrics.observe("serve.request_seconds", seconds)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs + paths onto the :class:`SolveService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SolveService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing --------------------------------------------------------
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+
+    def _send_error_json(
+        self, status: int, code: str, message: str, details=None, headers: dict | None = None
+    ) -> None:
+        err: dict = {"code": code, "message": message}
+        if details is not None:
+            err["details"] = details
+        self._send_json(status, {"error": err}, headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)",
+                code="payload-too-large",
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequest("empty request body; expected JSON", code="empty-body")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}", code="invalid-json") from exc
+
+    def _dispatch(self, method: str) -> None:
+        t0 = time.perf_counter()
+        self._status = 500
+        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            self._route(method, route)
+        except BadRequest as exc:
+            status = 413 if exc.code == "payload-too-large" else 400
+            self._send_error_json(status, exc.code, str(exc), exc.details)
+        except QueueFull as exc:
+            self._send_error_json(
+                429, "queue-full", str(exc), headers={"Retry-After": "1"}
+            )
+        except UnknownJob as exc:
+            self._send_error_json(404, "unknown-job", f"no such job: {exc.args[0]}")
+        except BrokenPipeError:  # client went away mid-response
+            return
+        except Exception as exc:  # noqa: BLE001 - the server must survive handlers
+            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            self.service.observe_request(method, route, self._status, time.perf_counter() - t0)
+
+    def _route(self, method: str, route: str) -> None:
+        if route == "/v1/solve" and method == "POST":
+            return self._post_solve()
+        if route.startswith("/v1/jobs/"):
+            job_id = route.rsplit("/", 1)[1]
+            if method == "GET":
+                return self._send_json(200, self.service.job_status(job_id))
+            if method == "DELETE":
+                return self._send_json(200, self.service.cancel_job(job_id))
+        if route == "/v1/healthz" and method == "GET":
+            health = self.service.healthz()
+            return self._send_json(200 if health["status"] == "ok" else 503, health)
+        if route == "/v1/metrics" and method == "GET":
+            return self._send_json(200, self.service.metrics_payload())
+        self._send_error_json(404, "not-found", f"no route {method} {route}")
+
+    def _post_solve(self) -> None:
+        body = self._read_body()
+        job, cached = self.service.submit(body)
+        if cached:
+            self._send_json(200, job.to_dict())
+        else:
+            self._send_json(
+                202,
+                {"id": job.id, "state": job.state, "location": f"/v1/jobs/{job.id}"},
+                {"Location": f"/v1/jobs/{job.id}"},
+            )
+
+    # -- verbs -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def create_server(
+    service: SolveService, host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server to the service (``port=0`` picks an
+    ephemeral port; read it back from ``server.server_address[1]``)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    pool_size: int = 2,
+    queue_size: int = 64,
+    cache_entries: int = 256,
+    cache_bytes: int = 64 * 1024 * 1024,
+    default_timeout_s: float | None = None,
+    verbose: bool = True,
+) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Stops gracefully on Ctrl-C or SIGTERM (in-flight jobs finish; the
+    listener closes first so no new work is accepted).
+    """
+    def _stop(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        import signal
+
+        signal.signal(signal.SIGTERM, _stop)
+    except (ImportError, ValueError):  # pragma: no cover - non-main thread
+        pass
+    service = SolveService(
+        pool_size=pool_size,
+        queue_size=queue_size,
+        cache_entries=cache_entries,
+        cache_bytes=cache_bytes,
+        default_timeout_s=default_timeout_s,
+    ).start()
+    server = create_server(service, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro serve listening on http://{bound_host}:{bound_port} "
+        f"(pool={pool_size}, queue={queue_size}, cache={cache_entries} entries)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+        print("repro serve stopped", flush=True)
+    return 0

@@ -93,3 +93,19 @@ def test_parallel_positions_empty_scenario():
     sc = simple_scenario([(4.0, 4.0)]).with_devices([])
     out = parallel_positions_by_type(sc, workers=1)
     assert out["ct"].shape == (0, 2)
+
+
+def test_cancel_token_stops_measurement():
+    import threading
+
+    from repro.core import SolveCancelled, check_cancel, measure_task_costs
+
+    cancel = threading.Event()
+    cancel.set()
+    with pytest.raises(SolveCancelled):
+        measure_task_costs(scenario(), cancel=cancel)
+    with pytest.raises(SolveCancelled):
+        parallel_positions_by_type(scenario(), workers=1, cancel=cancel)
+    # A None token (the default) never fires.
+    check_cancel(None)
+    check_cancel(threading.Event())

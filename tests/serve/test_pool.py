@@ -1,0 +1,155 @@
+"""Tests for the solver worker pool: execution, timeouts, cancellation."""
+
+import time
+
+import pytest
+
+from repro.core import SolveCancelled, check_cancel
+from repro.obs import MetricsRegistry
+from repro.serve import JobQueue, JobState, SolverPool
+
+
+def wait_final(queue, job, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if job.state in ("done", "failed", "timeout", "cancelled"):
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job stuck in state {job.state!r}")
+
+
+def test_pool_runs_jobs_and_captures_trace():
+    q = JobQueue(8)
+    m = MetricsRegistry()
+
+    def runner(job, tracer):
+        with tracer.span("work"):
+            return {"doubled": job.request["x"] * 2}
+
+    pool = SolverPool(q, runner, size=2, metrics=m).start()
+    try:
+        jobs = [q.submit({"x": i}) for i in range(5)]
+        for i, job in enumerate(jobs):
+            wait_final(q, job)
+            assert job.state == JobState.DONE
+            assert job.result == {"doubled": 2 * i}
+            names = [sp["name"] for sp in job.trace]
+            assert names == ["job", "work"]
+            assert all(sp["schema"] == "repro.trace/v1" for sp in job.trace)
+    finally:
+        pool.shutdown()
+    assert m.counter("serve.jobs.done") == 5
+    assert m.histogram("serve.job_seconds").count == 5
+
+
+def test_job_exception_becomes_failed():
+    q = JobQueue(4)
+    m = MetricsRegistry()
+
+    def runner(job, tracer):
+        raise RuntimeError("kaput")
+
+    pool = SolverPool(q, runner, size=1, metrics=m).start()
+    try:
+        job = wait_final(q, q.submit({}))
+        assert job.state == JobState.FAILED
+        assert "kaput" in job.error
+    finally:
+        pool.shutdown()
+    assert m.counter("serve.jobs.failed") == 1
+
+
+def test_running_job_timeout_via_cancel_token():
+    q = JobQueue(4)
+    m = MetricsRegistry()
+
+    def runner(job, tracer):
+        # Cooperative solver: polls the cancel token like solve_hipo does.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            check_cancel(job.cancel)
+            time.sleep(0.005)
+        return {}
+
+    pool = SolverPool(q, runner, size=1, metrics=m).start()
+    try:
+        job = wait_final(q, q.submit({}, timeout_s=0.1))
+        assert job.state == JobState.TIMEOUT
+        assert "timed out" in job.error
+    finally:
+        pool.shutdown()
+    assert m.counter("serve.jobs.timeout") == 1
+
+
+def test_queued_job_past_deadline_times_out_without_running():
+    q = JobQueue(4)
+    ran = []
+
+    def runner(job, tracer):
+        ran.append(job.id)
+        return {}
+
+    job = q.submit({}, timeout_s=0.01)
+    time.sleep(0.05)  # deadline passes while queued
+    pool = SolverPool(q, runner, size=1).start()
+    try:
+        wait_final(q, job)
+        assert job.state == JobState.TIMEOUT
+        assert job.id not in ran
+    finally:
+        pool.shutdown()
+
+
+def test_client_cancel_of_running_job():
+    q = JobQueue(4)
+
+    def runner(job, tracer):
+        while True:
+            check_cancel(job.cancel)
+            time.sleep(0.005)
+
+    pool = SolverPool(q, runner, size=1).start()
+    try:
+        job = q.submit({})
+        deadline = time.monotonic() + 2.0
+        while job.state != JobState.RUNNING and time.monotonic() < deadline:
+            time.sleep(0.005)
+        q.cancel(job.id)
+        wait_final(q, job)
+        assert job.state == JobState.CANCELLED
+    finally:
+        pool.shutdown()
+
+
+def test_graceful_shutdown_finishes_in_flight_jobs():
+    q = JobQueue(8)
+
+    def runner(job, tracer):
+        time.sleep(0.1)
+        return {"ok": True}
+
+    pool = SolverPool(q, runner, size=2).start()
+    jobs = [q.submit({}) for _ in range(2)]
+    time.sleep(0.02)  # let workers pick them up
+    pool.shutdown(wait=True, timeout=5.0)
+    for job in jobs:
+        assert job.state == JobState.DONE
+
+
+def test_solve_cancelled_surfaces_from_real_solver(rng):
+    """A pre-set cancel token stops solve_hipo before doing real work."""
+    import threading
+
+    from repro.core import solve_hipo
+    from repro.experiments import small_scenario
+
+    cancel = threading.Event()
+    cancel.set()
+    with pytest.raises(SolveCancelled):
+        solve_hipo(small_scenario(rng, num_devices=3), cancel=cancel)
+
+
+def test_invalid_pool_size_rejected():
+    q = JobQueue(2)
+    with pytest.raises(ValueError):
+        SolverPool(q, lambda j, t: {}, size=0)

@@ -136,3 +136,35 @@ def test_validate_flags_broken_scenario(capsys, tmp_path):
     rc = main(["validate", str(path), "--no-reachability"])
     assert rc == 1
     assert "device-in-obstacle" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and any(ch.isdigit() for ch in out)
+
+
+def test_workers_must_be_positive(capsys):
+    with pytest.raises(SystemExit):
+        main(["solve", "--workers", "0"])
+    assert "positive integer" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["solve", "--workers", "-3"])
+
+
+def test_serve_pool_and_queue_sizes_must_be_positive(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--pool-size", "0"])
+    assert "positive integer" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["serve", "--queue-size", "-1"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--cache-size", "0"])
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.port == 8080 and args.pool_size == 2
+    assert args.queue_size == 64 and args.cache_size == 256

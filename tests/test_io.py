@@ -82,3 +82,52 @@ def test_unknown_version_rejected(rng):
     data["version"] = 99
     with pytest.raises(ValueError):
         scenario_from_dict(data)
+
+
+def test_missing_scenario_field_named_in_error(rng):
+    data = scenario_to_dict(small_scenario(rng))
+    del data["budgets"]
+    with pytest.raises(ValueError, match="budgets"):
+        scenario_from_dict(data)
+
+
+def test_missing_device_field_named_with_index(rng):
+    data = scenario_to_dict(small_scenario(rng, num_devices=3))
+    del data["devices"][1]["threshold"]
+    with pytest.raises(ValueError, match=r"devices\[1\].*threshold"):
+        scenario_from_dict(data)
+
+
+def test_missing_charger_type_field_named(rng):
+    data = scenario_to_dict(small_scenario(rng))
+    del data["charger_types"][0]["dmax"]
+    with pytest.raises(ValueError, match=r"charger_types\[0\].*dmax"):
+        scenario_from_dict(data)
+
+
+def test_unknown_device_type_reference_named(rng):
+    data = scenario_to_dict(small_scenario(rng))
+    data["devices"][0]["type"] = "mystery"
+    with pytest.raises(ValueError, match="mystery"):
+        scenario_from_dict(data)
+
+
+def test_non_dict_scenario_rejected():
+    with pytest.raises(ValueError, match="expected a JSON object"):
+        scenario_from_dict([1, 2, 3])
+
+
+def test_malformed_errors_are_never_key_errors(rng):
+    """Every malformed variant raises ValueError, never a bare KeyError."""
+    base = scenario_to_dict(small_scenario(rng))
+    variants = []
+    for key in ("bounds", "charger_types", "device_types", "coefficients", "devices"):
+        broken = dict(base)
+        del broken[key]
+        variants.append(broken)
+    broken = json.loads(json.dumps(base))
+    del broken["coefficients"][0]["a"]
+    variants.append(broken)
+    for variant in variants:
+        with pytest.raises(ValueError):
+            scenario_from_dict(variant)
