@@ -1,9 +1,15 @@
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench-scaling serve serve-smoke ci
+.PHONY: test lint typecheck bench-smoke bench-scaling serve serve-smoke ci
 
 test:
 	$(PYTHONPATH_PREFIX) python -m pytest -x -q
+
+lint:
+	$(PYTHONPATH_PREFIX) python -m repro.analysis src/repro
+
+typecheck:
+	sh scripts/typecheck.sh
 
 serve:
 	$(PYTHONPATH_PREFIX) python -m repro serve --port 8080

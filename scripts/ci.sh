@@ -8,10 +8,17 @@
 # `repro serve`, health-check it over HTTP, verify a cached solve
 # round-trip (second POST must be served from cache, byte-identical),
 # then shut it down cleanly via SIGTERM.
+#
+# Static gates run first (fail fast, cheapest signals): the project
+# analyzer (docs/static-analysis.md) over src/repro, then the
+# strict-typing gate (scripts/typecheck.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro.analysis src/repro
+sh scripts/typecheck.sh
 
 python -m pytest -x -q
 

@@ -1,0 +1,75 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "attr_chain",
+    "call_name",
+    "iter_functions",
+    "parent_map",
+    "self_attr",
+    "walk_with_parents",
+]
+
+
+def attr_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """The dotted-name chain of a Name/Attribute expression.
+
+    ``np.random.default_rng`` -> ``("np", "random", "default_rng")``;
+    returns ``None`` when the expression is not a plain dotted name
+    (e.g. a call result or a subscript in the chain).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> tuple[str, ...] | None:
+    """The dotted name a call targets, or ``None`` for computed callees."""
+    return attr_chain(call.func)
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """The attribute name when *node* is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child -> parent for every node in *tree*."""
+    out: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            out[child] = parent
+    return out
+
+
+def walk_with_parents(tree: ast.AST) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Depth-first walk yielding each node with its ancestor stack
+    (outermost first)."""
+    stack: list[tuple[ast.AST, list[ast.AST]]] = [(tree, [])]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_anc = ancestors + [node]
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, child_anc))

@@ -1,0 +1,151 @@
+"""Determinism rules (DET1xx).
+
+The (1+ε)-approximation argument of the paper is only reproducible if a
+solve is a pure function of ``(scenario, params, seed)``: the discretized
+candidate set, the greedy tie-breaks, and hence the reported utilities must
+be bit-stable across runs and across ``workers=N``.  These rules keep the
+three classic leaks out of the numeric core (``core/``, ``model/``,
+``geometry/``): global/unseeded RNG state, wall-clock reads, and
+hash-order iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_name
+from ..engine import ModuleContext, Project, Rule, Violation
+
+__all__ = ["UnseededRandomRule", "WallClockRule", "SetIterationRule"]
+
+_NUMERIC_SCOPE = ("core", "model", "geometry")
+
+#: np.random members that construct *seedable* RNG state (allowed).
+_SEEDABLE = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}
+
+
+class UnseededRandomRule(Rule):
+    """DET101: no global/unseeded RNG in the numeric core.
+
+    ``random.*`` and ``np.random.<fn>()`` (the legacy global generator)
+    draw from interpreter-global state, so results depend on import order
+    and prior calls.  Core code must accept an explicit
+    ``np.random.Generator`` (seeded by the caller) instead.
+    """
+
+    rule_id = "DET101"
+    severity = "error"
+    scope = _NUMERIC_SCOPE
+    summary = "no global/unseeded random or np.random calls in the numeric core"
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name(node)
+            if chain is None:
+                continue
+            if chain[0] == "random" and len(chain) == 2:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to global-state RNG random.{chain[1]}; take an explicit "
+                    "np.random.Generator parameter instead",
+                )
+            elif (
+                len(chain) == 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and chain[2] not in _SEEDABLE
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to legacy global RNG np.random.{chain[2]}; use an explicit "
+                    "np.random.default_rng(seed) Generator",
+                )
+
+
+class WallClockRule(Rule):
+    """DET102: no wall-clock reads in the numeric core.
+
+    ``time.time`` / ``datetime.now`` leak the current date into whatever
+    consumes them, making solver outputs (or cache keys derived from them)
+    run-dependent.  Duration measurement via ``time.perf_counter`` /
+    ``time.monotonic`` / ``time.process_time`` is explicitly fine.
+    """
+
+    rule_id = "DET102"
+    severity = "error"
+    scope = _NUMERIC_SCOPE
+    summary = "no wall-clock reads (time.time, datetime.now) in the numeric core"
+
+    _TIME_FNS = {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"}
+    _DATE_FNS = {"now", "utcnow", "today"}
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name(node)
+            if chain is None or len(chain) < 2:
+                continue
+            if chain[0] == "time" and chain[-1] in self._TIME_FNS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read time.{chain[-1]}; solver code may only measure "
+                    "durations (perf_counter/monotonic/process_time)",
+                )
+            elif chain[-1] in self._DATE_FNS and any(
+                part in ("datetime", "date") for part in chain[:-1]
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read {'.'.join(chain)}; solver results must not "
+                    "depend on the current date",
+                )
+
+
+class SetIterationRule(Rule):
+    """DET103: no iteration over set expressions in the numeric core.
+
+    Set iteration order follows hash order, which for str/bytes keys varies
+    with ``PYTHONHASHSEED`` — feeding such an order into float accumulation
+    or candidate emission silently breaks bit-stability across runs.  Wrap
+    the expression in ``sorted(...)`` to pin the order.
+    """
+
+    rule_id = "DET103"
+    severity = "error"
+    scope = _NUMERIC_SCOPE
+    summary = "no hash-ordered iteration (for x in set(...)) in the numeric core"
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.violation(
+                        ctx,
+                        it,
+                        "iterating a set has PYTHONHASHSEED-dependent order; wrap the "
+                        "expression in sorted(...) before iterating",
+                    )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = call_name(node)
+            if chain is not None and chain[-1] in ("set", "frozenset"):
+                return True
+            # set arithmetic like a | b is untypeable statically; stop here.
+        return False

@@ -1,0 +1,190 @@
+"""Numeric and observability hygiene rules (NUM3xx, OBS4xx, PCK5xx).
+
+The geometry kernels implement Lemma 4.1's distance-level discretization
+and the Algorithm-1 rotational sweep, where every boundary case (device on
+a cone edge, position on a ring) is decided by floating-point predicates.
+Exact ``==`` on computed floats makes those decisions platform- and
+optimization-level-dependent; the project convention is epsilon helpers
+(``repro.geometry.primitives.EPS``, ``math.isclose``).  The observability
+and pool rules keep traces well-formed (spans must close exception-safely,
+which only the context-manager form guarantees) and worker payloads
+picklable by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import attr_chain
+from ..engine import ModuleContext, Project, Rule, Violation
+
+__all__ = ["FloatEqualityRule", "SpanContextRule", "PicklableTaskRule"]
+
+_MATH_FLOAT_FNS = {
+    "sqrt", "hypot", "atan2", "cos", "sin", "tan", "acos", "asin", "atan",
+    "exp", "log", "log2", "log10", "fabs", "fmod", "dist", "degrees", "radians",
+}
+
+
+class FloatEqualityRule(Rule):
+    """NUM301: no bare ``==``/``!=`` on float expressions in numeric code.
+
+    Flags equality comparisons where an operand is a float literal, a
+    ``float(...)`` cast, a ``math.<fn>`` result, or an arithmetic
+    expression involving true division — all poster children for exact
+    comparisons that hold on one platform and fail on another.  Use
+    ``math.isclose`` or ``abs(a - b) <= EPS``
+    (``repro.geometry.primitives.EPS``) instead.
+    """
+
+    rule_id = "NUM301"
+    severity = "error"
+    scope = ("geometry", "core", "model", "opt", "experiments", "extensions", "baselines")
+    summary = "no bare ==/!= on float expressions; use epsilon helpers"
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                floaty = next(
+                    (o for o in (left, right) if self._is_floaty(o)), None
+                )
+                if floaty is not None:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "exact ==/!= on a float expression; use math.isclose or "
+                        "abs(a - b) <= EPS (repro.geometry.primitives.EPS)",
+                    )
+                    break
+
+    @classmethod
+    def _is_floaty(cls, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return cls._is_floaty(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return cls._is_floaty(node.left) or cls._is_floaty(node.right)
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is None:
+                return False
+            if chain == ("float",):
+                return True
+            if len(chain) == 2 and chain[0] in ("math", "np", "numpy") and chain[1] in _MATH_FLOAT_FNS:
+                return True
+        return False
+
+
+class SpanContextRule(Rule):
+    """OBS401: tracer spans must be opened as context managers.
+
+    ``Tracer.span`` is a ``@contextmanager``; calling it without ``with``
+    either never opens the span or — worse — opens a generator that is
+    finalized at GC time, producing traces whose parent intervals do not
+    contain their children (the ``repro.trace/v1`` validator rejects
+    those).  The ``with`` form is also what guarantees the
+    ``status="error"`` close on exceptions.
+    """
+
+    rule_id = "OBS401"
+    severity = "error"
+    scope = ()
+    summary = "Tracer.span(...) must be used as `with tracer.span(...):`"
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        with_calls: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        with_calls.add(id(item.context_expr))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None or chain[-1] != "span" or len(chain) < 2:
+                continue
+            if id(node) not in with_calls:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{'.'.join(chain)}(...) outside a `with` block; spans must use "
+                    "the context-manager form to close exception-safely",
+                )
+
+
+class PicklableTaskRule(Rule):
+    """PCK501: pool task payloads must be picklable by construction.
+
+    ``ProcessPoolExecutor``/``multiprocessing`` pickle the callable and its
+    arguments; lambdas and functions nested inside another function are not
+    picklable and fail only at runtime, inside the pool, with an opaque
+    error.  Task callables shipped to ``pool.map``-style APIs must be
+    module-level functions.
+    """
+
+    rule_id = "PCK501"
+    severity = "error"
+    scope = ()
+    summary = "no lambdas or nested functions shipped to pool.map/submit"
+
+    _DISPATCH = {"map", "imap", "imap_unordered", "starmap", "apply_async", "submit"}
+    _POOLISH = ("pool", "executor")
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        nested_defs = self._nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if (
+                chain is None
+                or len(chain) < 2
+                or chain[-1] not in self._DISPATCH
+                or not any(p in chain[-2].lower() for p in self._POOLISH)
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield self.violation(
+                        ctx,
+                        arg,
+                        f"lambda passed to {'.'.join(chain)}(); lambdas are not "
+                        "picklable — use a module-level function",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested_defs:
+                    yield self.violation(
+                        ctx,
+                        arg,
+                        f"nested function {arg.id!r} passed to {'.'.join(chain)}(); "
+                        "closures are not picklable — hoist it to module level",
+                    )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> set[str]:
+        """Names of functions defined inside another function."""
+        nested: set[str] = set()
+
+        def visit(node: ast.AST, inside_function: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if inside_function:
+                        nested.add(child.name)
+                    visit(child, True)
+                elif isinstance(child, ast.ClassDef):
+                    # Methods are attribute accesses, not bare names.
+                    visit(child, False)
+                else:
+                    visit(child, inside_function)
+
+        visit(tree, False)
+        return nested

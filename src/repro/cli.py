@@ -14,6 +14,9 @@ Commands
 ``serve``
     Run the HTTP solve service (``repro.serve``): job queue, worker pool,
     content-addressed result cache.
+``lint``
+    Run the project static analyzer (``repro.analysis``): determinism,
+    lock-discipline, numeric-hygiene and strict-typing rules.
 """
 
 from __future__ import annotations
@@ -171,6 +174,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-job timeout (measured from submission)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
+
+    lint = sub.add_parser(
+        "lint", help="run the project static analyzer (docs/static-analysis.md)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule-id prefixes to run (e.g. DET,CNC201)",
+    )
+    lint.add_argument(
+        "--ignore",
+        type=str,
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule-id prefixes to skip",
+    )
+    lint.add_argument(
+        "--strict", action="store_true", help="treat warnings as errors (exit 1 on any violation)"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the registered rules and exit"
+    )
     return parser
 
 
@@ -305,6 +339,22 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import main as lint_main
+
+    argv = list(args.paths or [])
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.strict:
+        argv.append("--strict")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv, prog="repro lint")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -316,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "validate": _cmd_validate,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -119,7 +119,7 @@ def _threshold_factory(t, rng):
 
 def _dmin_factory(f, rng):
     sc = random_scenario(rng)
-    if float(f) == 0.0:
+    if abs(float(f)) <= 1e-12:
         # dmin = 0 exactly: rebuild types with a zero keep-out.
         new_types = tuple(
             ChargerType(ct.name, ct.charging_angle, 0.0, ct.dmax) for ct in sc.charger_types

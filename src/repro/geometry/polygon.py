@@ -28,7 +28,7 @@ class Polygon:
 
     __slots__ = ("_vertices", "_bbox", "_area", "_edge_cache")
 
-    def __init__(self, vertices: Iterable[Sequence[float]]):
+    def __init__(self, vertices: Iterable[Sequence[float]]) -> None:
         verts = np.asarray(list(vertices), dtype=float)
         if verts.ndim != 2 or verts.shape[1] != 2 or len(verts) < 3:
             raise ValueError("a polygon needs at least 3 (x, y) vertices")

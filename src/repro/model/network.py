@@ -50,7 +50,7 @@ class Scenario:
     charger_types: tuple[ChargerType, ...]
     budgets: dict[str, int]
     table: CoefficientTable
-    _evaluator_cache: list = field(default_factory=list, compare=False, repr=False)
+    _evaluator_cache: list[PowerEvaluator] = field(default_factory=list, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         xmin, ymin, xmax, ymax = self.bounds

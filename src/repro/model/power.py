@@ -98,7 +98,7 @@ class PowerEvaluator:
         obstacles: Sequence[Polygon],
         table: CoefficientTable,
         charger_types: Iterable[ChargerType],
-    ):
+    ) -> None:
         self.devices = list(devices)
         self.obstacles = list(obstacles)
         self.table = table

@@ -12,9 +12,13 @@ makes the discretized objective a monotone submodular set function
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily: power.py is a heavier module
+    from .entities import Strategy
+    from .power import PowerEvaluator
 
 __all__ = ["utility", "utilities", "total_utility", "utility_from_strategies"]
 
@@ -41,7 +45,9 @@ def total_utility(powers: np.ndarray, thresholds: np.ndarray) -> float:
     return float(u.mean()) if u.size else 0.0
 
 
-def utility_from_strategies(evaluator, strategies: Sequence) -> float:
+def utility_from_strategies(
+    evaluator: "PowerEvaluator", strategies: Sequence["Strategy"]
+) -> float:
     """Objective value of a strategy set under *evaluator* (exact powers)."""
     powers = evaluator.total_power(strategies)
     return total_utility(powers, evaluator.thresholds)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "HistogramSummary",
@@ -51,7 +52,7 @@ class HistogramSummary:
         if v > self.max:
             self.max = v
 
-    def merge(self, other: "HistogramSummary | dict") -> None:
+    def merge(self, other: "HistogramSummary | dict[str, float]") -> None:
         if isinstance(other, dict):
             other = HistogramSummary(**other)
         if other.count == 0:
@@ -65,7 +66,7 @@ class HistogramSummary:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, float]:
         if self.count == 0:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
         return {
@@ -81,11 +82,12 @@ class MetricsSnapshot:
     """Frozen, picklable view of a registry — plain dicts only, so it
     crosses process boundaries and serializes to JSON directly."""
 
-    counters: dict = field(default_factory=dict)
-    gauges: dict = field(default_factory=dict)
-    histograms: dict = field(default_factory=dict)  # name -> HistogramSummary dict
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: name -> HistogramSummary dict
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
@@ -96,7 +98,7 @@ class MetricsSnapshot:
 class MetricsRegistry:
     """Mutable metric accumulator for one run (or one worker task)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, HistogramSummary] = {}

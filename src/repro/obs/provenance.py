@@ -2,9 +2,10 @@
 
 Every benchmark JSON artifact (``BENCH_*.json``, ``benchmarks/results/*``)
 routes through :func:`write_bench_json`, which stamps a ``meta`` block —
-git sha, python/numpy versions, platform, CPU count, UTC timestamp and an
-optional metric snapshot — so numbers are attributable to the code and
-machine that produced them.
+git sha, python/numpy versions, platform, CPU count, UTC timestamp, an
+optional metric snapshot, and the ``repro.analysis`` lint summary (rule
+and violation counts for the tree that produced the numbers) — so numbers
+are attributable to the code and machine that produced them.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import os
 import platform
 import subprocess
 from pathlib import Path
+from typing import Any
 
 from .metrics import MetricsSnapshot
 
@@ -49,11 +51,32 @@ def git_sha(cwd: str | Path | None = None) -> str | None:
         return None
 
 
-def run_meta(metrics: MetricsSnapshot | None = None) -> dict:
+_LINT_CACHE: dict[str, int] | None = None
+
+
+def _lint_meta() -> dict[str, int] | None:
+    """Cached ``repro.analysis`` summary for the installed package.
+
+    One lint pass per process: provenance stamping must stay cheap for
+    scripts that write many artifacts.  Any analyzer failure degrades to
+    ``None`` (no ``lint`` key) rather than breaking benchmark writes.
+    """
+    global _LINT_CACHE
+    if _LINT_CACHE is None:
+        try:
+            from ..analysis import lint_summary
+
+            _LINT_CACHE = lint_summary()
+        except Exception:
+            return None
+    return _LINT_CACHE
+
+
+def run_meta(metrics: MetricsSnapshot | None = None) -> dict[str, Any]:
     """The provenance ``meta`` block stamped into benchmark artifacts."""
     import numpy as np
 
-    meta = {
+    meta: dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "git_sha": git_sha(),
         "python": platform.python_version(),
@@ -64,15 +87,18 @@ def run_meta(metrics: MetricsSnapshot | None = None) -> dict:
             timespec="seconds"
         ),
     }
+    lint = _lint_meta()
+    if lint is not None:
+        meta["lint"] = lint
     if metrics is not None:
         meta["metrics"] = metrics.to_dict()
     return meta
 
 
 def write_bench_json(
-    path,
+    path: str | Path,
     benchmark: str,
-    payload: dict,
+    payload: dict[str, Any],
     *,
     metrics: MetricsSnapshot | None = None,
 ) -> Path:
@@ -82,7 +108,7 @@ def write_bench_json(
     ``meta`` are reserved and added here.  The written file is re-parsed as
     a well-formedness check before returning.
     """
-    doc = {"benchmark": benchmark, "meta": run_meta(metrics=metrics)}
+    doc: dict[str, Any] = {"benchmark": benchmark, "meta": run_meta(metrics=metrics)}
     for key, value in payload.items():
         if key in doc:
             raise ValueError(f"payload key {key!r} is reserved for the bench writer")

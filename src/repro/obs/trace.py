@@ -55,7 +55,7 @@ import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 __all__ = [
     "NULL_TRACER",
@@ -102,9 +102,9 @@ class Span:
     wall_s: float = 0.0
     cpu_s: float = 0.0
     status: str = "ok"
-    attrs: dict = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: Any) -> "Span":
         """Attach (or overwrite) attributes; returns self for chaining."""
         self.attrs.update(attrs)
         return self
@@ -117,7 +117,7 @@ class Span:
     def end_s(self) -> float:
         return self.start_s + self.wall_s
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "schema": TRACE_SCHEMA,
             "trace_id": self.trace_id,
@@ -139,7 +139,7 @@ class Tracer:
     so traces of a deterministic run are diffable apart from timings.
     """
 
-    def __init__(self, trace_id: str | None = None):
+    def __init__(self, trace_id: str | None = None) -> None:
         self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self._epoch = time.perf_counter()
         self._counter = 0
@@ -156,7 +156,7 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[Span]:
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
         """Open a child span of the current span (or a root span)."""
         self._counter += 1
         sp = Span(
@@ -168,7 +168,6 @@ class Tracer:
             attrs=dict(attrs),
         )
         self._stack.append(sp)
-        wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
             yield sp
@@ -177,7 +176,11 @@ class Tracer:
             sp.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
             raise
         finally:
-            sp.wall_s = time.perf_counter() - wall0
+            # End on the same clock origin as start_s: a second entry-time
+            # perf_counter sample would open a preemption window in which
+            # the parent's computed interval ends before its children's,
+            # flunking the validator's containment check.
+            sp.wall_s = (time.perf_counter() - self._epoch) - sp.start_s
             sp.cpu_s = time.process_time() - cpu0
             self._stack.pop()
             self.spans.append(sp)
@@ -205,7 +208,7 @@ class Tracer:
         ordered = sorted(self.spans, key=lambda s: s.start_s)
         return "".join(json.dumps(sp.to_dict(), sort_keys=True) + "\n" for sp in ordered)
 
-    def write_jsonl(self, path) -> Path:
+    def write_jsonl(self, path: str | Path) -> Path:
         """Write the trace to *path*; returns the path written."""
         out = Path(path)
         out.write_text(self.to_jsonl())
@@ -216,7 +219,7 @@ class NullTracer(Tracer):
     """A do-nothing tracer: ``span()`` costs one generator frame, records
     nothing.  Use when tracing must be off entirely (hot inner loops)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(trace_id="null")
         self._null_span = Span("null", "null", "s0", None, 0.0)
 
@@ -225,7 +228,7 @@ class NullTracer(Tracer):
         return False
 
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[Span]:
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
         yield self._null_span
 
 
@@ -237,7 +240,7 @@ class TraceValidationError(ValueError):
     """A JSONL trace violated the ``repro.trace/v1`` schema."""
 
 
-def validate_trace_lines(lines: Iterable[str]) -> list[dict]:
+def validate_trace_lines(lines: Iterable[str]) -> list[dict[str, Any]]:
     """Validate JSONL trace lines against the ``repro.trace/v1`` schema.
 
     Checks, raising :class:`TraceValidationError` on the first violation:
@@ -251,7 +254,7 @@ def validate_trace_lines(lines: Iterable[str]) -> list[dict]:
 
     Returns the parsed span dicts (file order).
     """
-    spans: list[dict] = []
+    spans: list[dict[str, Any]] = []
     for lineno, raw in enumerate(lines, start=1):
         if not raw.strip():
             continue
@@ -277,7 +280,7 @@ def validate_trace_lines(lines: Iterable[str]) -> list[dict]:
 
     if not spans:
         raise TraceValidationError("empty trace")
-    by_id: dict[str, dict] = {}
+    by_id: dict[str, dict[str, Any]] = {}
     for obj in spans:
         sid = obj["span_id"]
         if sid in by_id:
@@ -304,7 +307,7 @@ def validate_trace_lines(lines: Iterable[str]) -> list[dict]:
     return spans
 
 
-def validate_trace_file(path) -> list[dict]:
+def validate_trace_file(path: str | Path) -> list[dict[str, Any]]:
     """Validate a JSONL trace file; returns the parsed spans."""
     text = Path(path).read_text()
     return validate_trace_lines(text.splitlines())

@@ -55,6 +55,7 @@ import time
 import uuid
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
 
 from ..core import solve_hipo
 from ..io import canonical_scenario_hash, scenario_from_dict
@@ -91,18 +92,20 @@ _KEY_PARAMS = ("eps", "lazy", "refine", "algorithm3_order", "objective_power")
 class BadRequest(ValueError):
     """Client error; becomes a 400 with the given code + message."""
 
-    def __init__(self, message: str, *, code: str = "bad-request", details=None):
+    def __init__(
+        self, message: str, *, code: str = "bad-request", details: object = None
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.details = details
 
 
-def _validate_params(params) -> dict:
+def _validate_params(params: object) -> dict[str, Any]:
     if params is None:
         return {}
     if not isinstance(params, dict):
         raise BadRequest("params: expected an object", code="invalid-params")
-    out = {}
+    out: dict[str, Any] = {}
     for name, value in params.items():
         spec = _PARAM_SPECS.get(name)
         if spec is None:
@@ -131,17 +134,28 @@ class SolveService:
         cache_bytes: int = 64 * 1024 * 1024,
         default_timeout_s: float | None = None,
         validate_default: bool = True,
-    ):
+    ) -> None:
         self.metrics = MetricsRegistry()
+        #: One lock per registry: the registry is not thread-safe, and the
+        #: cache and pool record onto the same instance, so they must share
+        #: this lock (three separate locks would guard nothing).
         self._metrics_lock = threading.Lock()
         self.queue = JobQueue(queue_size)
-        self.cache = SolveCache(cache_entries, cache_bytes, metrics=self.metrics)
-        self.pool = SolverPool(self.queue, self._run_job, size=pool_size, metrics=self.metrics)
+        self.cache = SolveCache(
+            cache_entries, cache_bytes, metrics=self.metrics, lock=self._metrics_lock
+        )
+        self.pool = SolverPool(
+            self.queue,
+            self._run_job,
+            size=pool_size,
+            metrics=self.metrics,
+            lock=self._metrics_lock,
+        )
         self.default_timeout_s = default_timeout_s
         self.validate_default = validate_default
         self.started_monotonic = time.monotonic()
         #: Recent per-request span dicts (bounded; served for debugging).
-        self.request_log: deque = deque(maxlen=256)
+        self.request_log: deque[dict[str, Any]] = deque(maxlen=256)
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "SolveService":
@@ -156,7 +170,7 @@ class SolveService:
             self.metrics.inc(name, amount)
 
     # -- submission ------------------------------------------------------
-    def submit(self, body: dict) -> tuple[Job, bool]:
+    def submit(self, body: dict[str, Any]) -> tuple[Job, bool]:
         """Validate and submit one solve request.
 
         Returns ``(job, cached)``; *cached* jobs are already ``done``.
@@ -215,11 +229,12 @@ class SolveService:
             cache_key=key,
         )
         self._count("serve.jobs.submitted")
+        depth = self.queue.depth  # read first: depth takes the queue's own lock
         with self._metrics_lock:
-            self.metrics.gauge("serve.queue.peak_depth", float(self.queue.depth))
+            self.metrics.gauge("serve.queue.peak_depth", float(depth))
         return job, False
 
-    def _cached_job(self, key: str, payload: dict, priority: int) -> Job:
+    def _cached_job(self, key: str, payload: dict[str, Any], priority: int) -> Job:
         """Materialize a cache hit as an already-finished job (uniform
         ``GET /v1/jobs/<id>`` semantics).  Its trace has no ``solve`` span."""
         tracer = Tracer()
@@ -244,7 +259,7 @@ class SolveService:
         return job
 
     # -- job execution (runs on pool worker threads) ---------------------
-    def _run_job(self, job: Job, tracer: Tracer) -> dict:
+    def _run_job(self, job: Job, tracer: Tracer) -> dict[str, Any]:
         request = job.request
         params = request["params"]
         scenario, _ = scenario_from_dict(request["scenario"])
@@ -284,14 +299,14 @@ class SolveService:
         return payload
 
     # -- reads -----------------------------------------------------------
-    def job_status(self, job_id: str, *, include_trace: bool = True) -> dict:
+    def job_status(self, job_id: str, *, include_trace: bool = True) -> dict[str, Any]:
         return self.queue.get(job_id).to_dict(include_trace=include_trace)
 
-    def cancel_job(self, job_id: str) -> dict:
+    def cancel_job(self, job_id: str) -> dict[str, Any]:
         job = self.queue.cancel(job_id)
         return {"id": job.id, "state": job.state, "cancel_requested": True}
 
-    def healthz(self) -> dict:
+    def healthz(self) -> dict[str, Any]:
         alive = self.pool.alive
         status = "ok" if alive == self.pool.size else "degraded"
         return {
@@ -303,7 +318,7 @@ class SolveService:
             "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
         }
 
-    def metrics_payload(self) -> dict:
+    def metrics_payload(self) -> dict[str, Any]:
         with self._metrics_lock:
             snapshot = self.metrics.snapshot().to_dict()
         return {
@@ -344,12 +359,14 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> SolveService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
     # -- plumbing --------------------------------------------------------
-    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+    def _send_json(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -361,14 +378,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._status = status
 
     def _send_error_json(
-        self, status: int, code: str, message: str, details=None, headers: dict | None = None
+        self,
+        status: int,
+        code: str,
+        message: str,
+        details: object = None,
+        headers: dict[str, str] | None = None,
     ) -> None:
-        err: dict = {"code": code, "message": message}
+        err: dict[str, Any] = {"code": code, "message": message}
         if details is not None:
             err["details"] = details
         self._send_json(status, {"error": err}, headers)
 
-    def _read_body(self) -> dict:
+    def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
             raise BadRequest(
@@ -472,7 +494,7 @@ def run_server(
     Stops gracefully on Ctrl-C or SIGTERM (in-flight jobs finish; the
     listener closes first so no new work is accepted).
     """
-    def _stop(signum, frame):
+    def _stop(signum: int, frame: object) -> None:
         raise KeyboardInterrupt
 
     try:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
+from typing import Any
 
 from ..obs import MetricsRegistry
 
@@ -42,7 +43,8 @@ class SolveCache:
         max_bytes: int = 64 * 1024 * 1024,
         *,
         metrics: MetricsRegistry | None = None,
-    ):
+        lock: threading.Lock | None = None,
+    ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         if max_bytes <= 0:
@@ -50,12 +52,15 @@ class SolveCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._lock = threading.Lock()
+        #: Guards the entries *and* the registry.  Callers sharing
+        #: *metrics* with other components must share this lock too —
+        #: a non-thread-safe registry needs exactly one lock.
+        self._lock = lock if lock is not None else threading.Lock()
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._bytes = 0
 
     # -- core ------------------------------------------------------------
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str) -> dict[str, Any] | None:
         """The cached result payload for *key*, or ``None`` on miss.
 
         A hit moves the entry to most-recently-used and returns a fresh
@@ -70,7 +75,7 @@ class SolveCache:
             self.metrics.inc("cache.hits")
             return json.loads(blob.decode("utf-8"))
 
-    def put(self, key: str, payload: dict) -> bool:
+    def put(self, key: str, payload: dict[str, Any]) -> bool:
         """Store *payload* under *key*; returns whether it was cached.
 
         Serializes deterministically (sorted keys, compact separators) so
@@ -112,7 +117,7 @@ class SolveCache:
         with self._lock:
             return self._bytes
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Live view for ``/v1/metrics`` (counters are cumulative; entries
         and bytes are current, unlike the peak-keeping gauges)."""
         with self._lock:

@@ -34,6 +34,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "Job",
@@ -75,7 +76,7 @@ class Job:
     """One solve request travelling through the service."""
 
     id: str
-    request: dict  # parsed request body (scenario dict + params)
+    request: dict[str, Any]  # parsed request body (scenario dict + params)
     priority: int = 0
     timeout_s: float | None = None
     cache_key: str | None = None
@@ -83,10 +84,10 @@ class Job:
     started_s: float | None = None
     finished_s: float | None = None
     state: str = JobState.QUEUED
-    result: dict | None = None  # payload for ``done`` jobs
+    result: dict[str, Any] | None = None  # payload for ``done`` jobs
     error: str | None = None  # message for ``failed`` jobs
     cached: bool = False
-    trace: list[dict] = field(default_factory=list)  # repro.trace/v1 span dicts
+    trace: list[dict[str, Any]] = field(default_factory=list)  # repro.trace/v1 span dicts
     cancel: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -101,9 +102,9 @@ class Job:
         d = self.deadline_s
         return d is not None and time.monotonic() > d
 
-    def to_dict(self, *, include_trace: bool = True) -> dict:
+    def to_dict(self, *, include_trace: bool = True) -> dict[str, Any]:
         """JSON form served by ``GET /v1/jobs/<id>``."""
-        out = {
+        out: dict[str, Any] = {
             "id": self.id,
             "state": self.state,
             "priority": self.priority,
@@ -124,7 +125,7 @@ class Job:
 class JobQueue:
     """Thread-safe bounded priority queue plus job registry."""
 
-    def __init__(self, maxsize: int = 64, *, max_history: int = 1024):
+    def __init__(self, maxsize: int = 64, *, max_history: int = 1024) -> None:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
@@ -139,7 +140,7 @@ class JobQueue:
     # -- submission -----------------------------------------------------
     def submit(
         self,
-        request: dict,
+        request: dict[str, Any],
         *,
         priority: int = 0,
         timeout_s: float | None = None,
@@ -199,7 +200,14 @@ class JobQueue:
                 else:
                     self._not_empty.wait()
 
-    def finish(self, job: Job, state: str, *, result: dict | None = None, error: str | None = None) -> None:
+    def finish(
+        self,
+        job: Job,
+        state: str,
+        *,
+        result: dict[str, Any] | None = None,
+        error: str | None = None,
+    ) -> None:
         """Move a running job to a final state."""
         if state not in FINAL_STATES:
             raise ValueError(f"not a final state: {state!r}")

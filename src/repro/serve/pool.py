@@ -25,15 +25,18 @@ via ``params.workers``).  The pool owns everything around it:
 
 Metric counters (``serve.jobs.done`` / ``failed`` / ``timeout`` /
 ``cancelled``), the ``serve.job_seconds`` histogram and the
-``serve.jobs.running`` peak gauge land on the shared registry under a pool
-lock (the registry itself is not thread-safe).
+``serve.jobs.running`` peak gauge land on the shared registry under the
+pool lock (the registry itself is not thread-safe).  When the registry is
+shared with other components, pass the lock guarding it as *lock* so there
+is exactly one lock per registry — :class:`~repro.serve.api.SolveService`
+does this for its service-wide registry.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from ..core import SolveCancelled
 from ..obs import MetricsRegistry, Tracer
@@ -51,48 +54,56 @@ class SolverPool:
     def __init__(
         self,
         queue: JobQueue,
-        runner: Callable[[Job, Tracer], dict],
+        runner: Callable[[Job, Tracer], dict[str, Any]],
         *,
         size: int = 2,
         metrics: MetricsRegistry | None = None,
-    ):
+        lock: threading.Lock | None = None,
+    ) -> None:
         if size <= 0:
             raise ValueError(f"pool size must be positive, got {size}")
         self.queue = queue
         self.runner = runner
         self.size = size
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._metrics_lock = threading.Lock()
+        #: Guards the registry, ``_threads`` and ``_running``.  Callers
+        #: sharing *metrics* must share this lock too.
+        self._lock = lock if lock is not None else threading.Lock()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._running = 0
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> "SolverPool":
-        if self._threads:
-            raise RuntimeError("pool already started")
-        for i in range(self.size):
-            t = threading.Thread(target=self._worker, name=f"repro-solver-{i}", daemon=True)
-            t.start()
-            self._threads.append(t)
+        with self._lock:
+            if self._threads:
+                raise RuntimeError("pool already started")
+            for i in range(self.size):
+                t = threading.Thread(target=self._worker, name=f"repro-solver-{i}", daemon=True)
+                t.start()
+                self._threads.append(t)
         return self
 
     def shutdown(self, *, wait: bool = True, timeout: float | None = None) -> None:
         """Stop accepting work; in-flight jobs run to completion."""
         self._stop.set()
+        with self._lock:
+            threads = list(self._threads)
         if wait:
-            for t in self._threads:
+            for t in threads:  # join outside the lock: workers take it to count
                 t.join(timeout)
-        self._threads = []
+        with self._lock:
+            self._threads = []
 
     @property
     def alive(self) -> int:
         """Worker threads currently alive (healthz)."""
-        return sum(1 for t in self._threads if t.is_alive())
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())
 
     @property
     def running_jobs(self) -> int:
-        with self._metrics_lock:
+        with self._lock:
             return self._running
 
     # -- worker loop -----------------------------------------------------
@@ -106,7 +117,7 @@ class SolverPool:
             self._run_job(job)
 
     def _count(self, name: str, amount: float = 1) -> None:
-        with self._metrics_lock:
+        with self._lock:
             self.metrics.inc(name, amount)
 
     def _run_job(self, job: Job) -> None:
@@ -116,7 +127,7 @@ class SolverPool:
             )
             self._count("serve.jobs.timeout")
             return
-        with self._metrics_lock:
+        with self._lock:
             self._running += 1
             self.metrics.gauge("serve.jobs.running", float(self._running))
         timer = None
@@ -154,6 +165,6 @@ class SolverPool:
         finally:
             if timer is not None:
                 timer.cancel()
-            with self._metrics_lock:
+            with self._lock:
                 self._running -= 1
                 self.metrics.observe("serve.job_seconds", time.perf_counter() - t0)

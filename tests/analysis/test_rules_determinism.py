@@ -1,0 +1,133 @@
+"""DET101/DET102/DET103: good and bad fixture pairs, plus scoping."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+# ------------------------------------------------------------ DET101 --
+
+
+def test_det101_fires_on_global_rng(lint_tree):
+    result = lint_tree(
+        {
+            "core/sample.py": """\
+    import random
+    import numpy as np
+
+    def jitter():
+        return random.random() + np.random.rand() + np.random.uniform(0, 1)
+    """
+        },
+        select=["DET101"],
+    )
+    assert rule_ids(result) == ["DET101", "DET101", "DET101"]
+
+
+def test_det101_clean_on_seeded_generator(lint_tree):
+    result = lint_tree(
+        {
+            "core/sample.py": """\
+    import numpy as np
+
+    def make_rng(seed: int):
+        return np.random.default_rng(seed)
+
+    def jitter(rng: np.random.Generator) -> float:
+        return float(rng.random())
+    """
+        },
+        select=["DET101"],
+    )
+    assert result.violations == []
+
+
+def test_det101_out_of_scope_in_serve(lint_tree):
+    # The serve layer may use ambient randomness (e.g. jitter for retries);
+    # determinism rules bind only the numeric core.
+    result = lint_tree(
+        {
+            "serve/backoff.py": """\
+    import random
+
+    def jitter():
+        return random.random()
+    """
+        },
+        select=["DET101"],
+    )
+    assert result.violations == []
+
+
+# ------------------------------------------------------------ DET102 --
+
+
+def test_det102_fires_on_wall_clock(lint_tree):
+    result = lint_tree(
+        {
+            "model/stamp.py": """\
+    import time
+    import datetime
+
+    def stamp():
+        return time.time(), datetime.datetime.now()
+    """
+        },
+        select=["DET102"],
+    )
+    assert rule_ids(result) == ["DET102", "DET102"]
+
+
+def test_det102_clean_on_duration_clocks(lint_tree):
+    result = lint_tree(
+        {
+            "model/stamp.py": """\
+    import time
+
+    def measure():
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        m0 = time.monotonic()
+        return time.perf_counter() - t0, c0, m0
+    """
+        },
+        select=["DET102"],
+    )
+    assert result.violations == []
+
+
+# ------------------------------------------------------------ DET103 --
+
+
+def test_det103_fires_on_set_iteration(lint_tree):
+    result = lint_tree(
+        {
+            "geometry/order.py": """\
+    def accumulate(names):
+        total = 0.0
+        for n in set(names):
+            total += len(n) * 0.5
+        return total, [x for x in {1.0, 2.0}]
+    """
+        },
+        select=["DET103"],
+    )
+    assert rule_ids(result) == ["DET103", "DET103"]
+
+
+def test_det103_clean_on_sorted_iteration(lint_tree):
+    result = lint_tree(
+        {
+            "geometry/order.py": """\
+    def accumulate(names):
+        total = 0.0
+        for n in sorted(set(names)):
+            total += len(n) * 0.5
+        return total
+    """
+        },
+        select=["DET103"],
+    )
+    assert result.violations == []

@@ -1,0 +1,154 @@
+"""NUM301/OBS401/PCK501: numeric, trace, and pool-payload hygiene."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+# ------------------------------------------------------------ NUM301 --
+
+
+def test_num301_fires_on_float_equality(lint_tree):
+    result = lint_tree(
+        {
+            "geometry/pred.py": """\
+    import math
+
+    def on_ring(d, r):
+        if d == 0.0:
+            return True
+        if math.sqrt(d) != r:
+            return False
+        return d / 2 == r
+    """
+        },
+        select=["NUM301"],
+    )
+    assert rule_ids(result) == ["NUM301", "NUM301", "NUM301"]
+    assert "isclose" in result.violations[0].message
+
+
+def test_num301_clean_on_int_and_epsilon_compare(lint_tree):
+    result = lint_tree(
+        {
+            "geometry/pred.py": """\
+    import math
+
+    EPS = 1e-9
+
+    def on_ring(d, r, k):
+        if k == 0:
+            return True
+        if abs(d - r) <= EPS:
+            return True
+        return math.isclose(d, r)
+    """
+        },
+        select=["NUM301"],
+    )
+    assert result.violations == []
+
+
+def test_num301_out_of_scope_in_serve(lint_tree):
+    result = lint_tree(
+        {
+            "serve/retry.py": """\
+    def f(x):
+        return x == 0.5
+    """
+        },
+        select=["NUM301"],
+    )
+    assert result.violations == []
+
+
+# ------------------------------------------------------------ OBS401 --
+
+
+def test_obs401_fires_on_bare_span_call(lint_tree):
+    result = lint_tree(
+        {
+            "core/solve.py": """\
+    def run(tracer):
+        span = tracer.span("solve", phase="extract")
+        do_work()
+        return span
+    """
+        },
+        select=["OBS401"],
+    )
+    assert rule_ids(result) == ["OBS401"]
+    assert "tracer.span" in result.violations[0].message
+
+
+def test_obs401_clean_on_with_span(lint_tree):
+    result = lint_tree(
+        {
+            "core/solve.py": """\
+    def run(tracer):
+        with tracer.span("solve", phase="extract"):
+            do_work()
+        with tracer.span("a"), tracer.span("b") as s:
+            s.set(ok=True)
+    """
+        },
+        select=["OBS401"],
+    )
+    assert result.violations == []
+
+
+# ------------------------------------------------------------ PCK501 --
+
+
+def test_pck501_fires_on_lambda_and_nested_def(lint_tree):
+    result = lint_tree(
+        {
+            "core/par.py": """\
+    def run(pool, items):
+        def scale(x):
+            return x * 2.0
+
+        a = pool.map(lambda x: x + 1, items)
+        b = pool.map(scale, items)
+        c = my_executor.submit(scale, items[0])
+        return a, b, c
+    """
+        },
+        select=["PCK501"],
+    )
+    assert rule_ids(result) == ["PCK501", "PCK501", "PCK501"]
+    messages = " ".join(v.message for v in result.violations)
+    assert "lambda" in messages and "scale" in messages
+
+
+def test_pck501_clean_on_module_level_function(lint_tree):
+    result = lint_tree(
+        {
+            "core/par.py": """\
+    def scale(x):
+        return x * 2.0
+
+    def run(pool, items):
+        return pool.map(scale, items)
+    """
+        },
+        select=["PCK501"],
+    )
+    assert result.violations == []
+
+
+def test_pck501_ignores_non_pool_receivers(lint_tree):
+    # ``map``/``submit`` on receivers that are not pool-ish are not
+    # dispatches (e.g. a plain dict named ``handlers``).
+    result = lint_tree(
+        {
+            "core/par.py": """\
+    def run(handlers, items):
+        return handlers.map(lambda x: x + 1, items)
+    """
+        },
+        select=["PCK501"],
+    )
+    assert result.violations == []

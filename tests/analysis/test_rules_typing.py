@@ -1,0 +1,123 @@
+"""TYP601/TYP602: the AST half of the strict-typing gate."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+# ------------------------------------------------------------ TYP601 --
+
+
+def test_typ601_fires_and_names_missing_annotations(lint_tree):
+    result = lint_tree(
+        {
+            "model/calc.py": """\
+    class Calc:
+        def __init__(self, base, scale: float):
+            self.base = base
+            self.scale = scale
+
+        def apply(self, x: float) -> float:
+            return x * self.scale
+
+    def helper(a, *rest, flag: bool = False, **extra) -> int:
+        return len(rest)
+    """
+        },
+        select=["TYP601"],
+    )
+    assert rule_ids(result) == ["TYP601", "TYP601"]
+    init, helper = result.violations
+    # self is exempt; base lacks a param annotation, __init__ lacks -> None.
+    assert "base" in init.message and "return" in init.message
+    assert "scale" not in init.message
+    assert "a" in helper.message and "*rest" in helper.message
+    assert "**extra" in helper.message and "flag" not in helper.message
+
+
+def test_typ601_clean_when_fully_annotated(lint_tree):
+    result = lint_tree(
+        {
+            "model/calc.py": """\
+    from typing import Any
+
+    class Calc:
+        def __init__(self, base: float) -> None:
+            self.base = base
+
+        def apply(self, x: float, *rest: float, **extra: Any) -> float:
+            return x + self.base
+    """
+        },
+        select=["TYP601"],
+    )
+    assert result.violations == []
+
+
+def test_typ601_out_of_scope_in_core(lint_tree):
+    # The typed scope mirrors pyproject's mypy packages; core/ is not in it.
+    result = lint_tree(
+        {
+            "core/calc.py": """\
+    def helper(a):
+        return a
+    """
+        },
+        select=["TYP601"],
+    )
+    assert result.violations == []
+
+
+# ------------------------------------------------------------ TYP602 --
+
+
+def test_typ602_fires_on_bare_generics(lint_tree):
+    result = lint_tree(
+        {
+            "serve/payload.py": """\
+    def load(raw: bytes) -> dict:
+        out: list = []
+        return {"items": out}
+    """
+        },
+        select=["TYP602"],
+    )
+    assert sorted(v.message.split("'")[1] for v in result.violations) == ["dict", "list"]
+    assert all(v.rule_id == "TYP602" for v in result.violations)
+
+
+def test_typ602_clean_when_parameterized(lint_tree):
+    result = lint_tree(
+        {
+            "serve/payload.py": """\
+    from typing import Any
+
+    def load(raw: bytes) -> dict[str, Any]:
+        out: list[dict[str, Any]] = []
+        return {"items": out}
+    """
+        },
+        select=["TYP602"],
+    )
+    assert result.violations == []
+
+
+def test_typ602_string_annotation_anchored_at_original_line(lint_tree):
+    result = lint_tree(
+        {
+            "serve/payload.py": """\
+    def a() -> int:
+        return 1
+
+    def load(raw: bytes) -> "dict":
+        return {}
+    """
+        },
+        select=["TYP602"],
+    )
+    assert rule_ids(result) == ["TYP602"]
+    # Anchored at the annotation on line 4, not at the parsed string's
+    # internal line 1.
+    assert result.violations[0].line == 4

@@ -1,0 +1,96 @@
+"""The analyzer gates its own repository — and CI can rely on the exit code."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import default_rules, default_source_root, main, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# The shape of regression ci.sh must catch: an unseeded RNG call in the
+# numeric core and an unguarded mutation in a lock-owning serve class.
+_BROKEN_TREE = {
+    "core/solver.py": """\
+        import random
+
+        def perturb(x):
+            return x + random.random()
+    """,
+    "serve/registry.py": """\
+        import threading
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}
+
+            def register(self, job):
+                self._jobs[job.id] = job
+    """,
+}
+
+
+def _write_tree(root: Path) -> None:
+    for rel, source in _BROKEN_TREE.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+
+def test_src_repro_is_clean():
+    """Acceptance: the analyzer over src/repro finds nothing to report.
+
+    Zero violations — not merely zero errors — so there are no warnings
+    and no bug-masking suppressions hiding real findings either.
+    """
+    result = run_analysis([default_source_root()])
+    assert result.violations == []
+    assert result.exit_code(strict=True) == 0
+
+
+def test_default_source_root_is_the_package():
+    root = default_source_root()
+    assert root.name == "repro"
+    assert (root / "analysis" / "engine.py").is_file()
+
+
+def test_at_least_eight_distinct_rules_registered():
+    ids = {rule.rule_id for rule in default_rules()}
+    assert len(ids) == len(default_rules())  # no duplicate IDs
+    assert len(ids) >= 8
+
+
+def test_broken_tree_fails_via_main(tmp_path):
+    _write_tree(tmp_path)
+    assert main([str(tmp_path)]) == 1
+    result = run_analysis([tmp_path])
+    fired = {v.rule_id for v in result.violations}
+    # serve/ is also in the typed scope, so TYP601 piles on; the point is
+    # that the planted determinism and lock violations are both caught.
+    assert {"CNC201", "DET101"} <= fired
+
+
+def test_broken_tree_fails_via_module_subprocess(tmp_path):
+    """The exact invocation scripts/ci.sh uses must exit non-zero."""
+    _write_tree(tmp_path)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "DET101" in proc.stdout and "CNC201" in proc.stdout
+
+
+def test_repo_ci_script_runs_the_analyzer():
+    ci = (REPO_ROOT / "scripts" / "ci.sh").read_text()
+    assert "repro.analysis" in ci
+    assert "typecheck.sh" in ci
+    # Static gates come before the test suite (fail fast).
+    assert ci.index("repro.analysis") < ci.index("pytest")

@@ -81,3 +81,24 @@ def simple_scenario(
 @pytest.fixture
 def square_obstacle() -> Polygon:
     return rectangle(4.0, 4.0, 6.0, 6.0)
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relative_path: source}`` files and run the static analyzer.
+
+    Returns a function; source strings are dedented so tests/analysis
+    fixtures can be written inline as indented triple-quoted blocks.
+    """
+    import textwrap
+
+    from repro.analysis import run_analysis
+
+    def run(files, **kwargs):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return run_analysis([tmp_path], **kwargs)
+
+    return run

@@ -45,6 +45,22 @@ def test_span_durations_and_attrs():
     assert tr.find("missing") is None
 
 
+def test_parent_intervals_exactly_contain_children():
+    """Spans end on the same clock origin they start on, so a parent's
+    [start_s, end_s] contains its children's with zero tolerance — a second
+    entry-time sample would let preemption shrink the parent's interval."""
+    tr = Tracer()
+    with tr.span("root"):
+        with tr.span("mid"):
+            with tr.span("leaf"):
+                pass
+    by_name = {sp.name: sp for sp in tr.spans}
+    for parent, child in (("root", "mid"), ("mid", "leaf")):
+        p, c = by_name[parent], by_name[child]
+        assert p.start_s <= c.start_s
+        assert c.end_s <= p.end_s
+
+
 def test_exception_safety():
     tr = Tracer()
     with pytest.raises(RuntimeError, match="boom"):

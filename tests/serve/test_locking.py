@@ -1,0 +1,77 @@
+"""Regression tests for the serve-layer lock discipline (CNC201/CNC202).
+
+The service shares one non-thread-safe :class:`MetricsRegistry` between
+the HTTP layer, the cache and the pool; correctness rests on all three
+guarding it with the *same* lock, and on nothing lock-acquiring running
+inside a locked region (``submit`` reads ``queue.depth`` — which takes
+the queue's own lock — before taking the metrics lock).
+"""
+
+import threading
+import time
+
+from repro.obs import MetricsRegistry
+from repro.serve import JobQueue, SolverPool
+from repro.serve.api import SolveService
+from repro.serve.cache import SolveCache
+
+
+def test_service_shares_one_metrics_lock():
+    service = SolveService(pool_size=1, queue_size=4)
+    assert service.cache._lock is service._metrics_lock
+    assert service.pool._lock is service._metrics_lock
+
+
+def test_submit_records_peak_depth_gauge(rng):
+    from repro.experiments import small_scenario
+    from repro.io import scenario_to_dict
+
+    service = SolveService(pool_size=1, queue_size=4)  # not started: job stays queued
+    scenario_data = scenario_to_dict(small_scenario(rng, num_devices=3))
+    job, cached = service.submit({"scenario": scenario_data, "use_cache": False})
+    assert not cached
+    assert service.metrics.gauge_value("serve.queue.peak_depth") >= 1.0
+    assert service.metrics.counter("serve.jobs.submitted") == 1
+
+
+def test_pool_accepts_external_lock_and_counts_under_it():
+    q = JobQueue(4)
+    m = MetricsRegistry()
+    lock = threading.Lock()
+    pool = SolverPool(q, lambda job, tracer: {"ok": True}, size=1, metrics=m, lock=lock)
+    assert pool._lock is lock
+    pool.start()
+    try:
+        assert pool.alive == 1
+        job = q.submit({})
+        deadline = time.monotonic() + 5.0
+        while job.state not in ("done", "failed") and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert job.state == "done"
+    finally:
+        pool.shutdown()
+    assert pool.alive == 0
+    assert pool.running_jobs == 0
+    assert m.counter("serve.jobs.done") == 1
+
+
+def test_pool_shutdown_joins_then_clears_threads():
+    q = JobQueue(4)
+    pool = SolverPool(q, lambda job, tracer: {}, size=2).start()
+    assert pool.alive == 2
+    pool.shutdown(wait=True, timeout=5.0)
+    assert pool.alive == 0
+    # Restartable after a full shutdown (thread list cleared).
+    pool2 = pool.start()
+    assert pool2 is pool and pool.alive == 2
+    pool.shutdown()
+
+
+def test_cache_accepts_external_lock():
+    m = MetricsRegistry()
+    lock = threading.Lock()
+    cache = SolveCache(4, 1 << 20, metrics=m, lock=lock)
+    assert cache._lock is lock
+    cache.put("k", {"v": 1})
+    assert cache.get("k") == {"v": 1}
+    assert m.counter("cache.hits") == 1
