@@ -1,6 +1,6 @@
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint typecheck bench-smoke bench-scaling serve serve-smoke ci
+.PHONY: test lint typecheck bench-smoke bench-scaling bench-cache serve serve-smoke ci
 
 test:
 	$(PYTHONPATH_PREFIX) python -m pytest -x -q
@@ -22,6 +22,9 @@ bench-smoke:
 
 bench-scaling:
 	$(PYTHONPATH_PREFIX) python benchmarks/bench_extraction_scaling.py
+
+bench-cache:
+	$(PYTHONPATH_PREFIX) python benchmarks/bench_cache_reuse.py --smoke --out /tmp/bench_cache_smoke.json
 
 ci:
 	sh scripts/ci.sh

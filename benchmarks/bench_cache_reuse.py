@@ -1,0 +1,184 @@
+"""Candidate-reuse benchmark: cold vs warm budget sweeps.
+
+Times the same budget sweep (one seeded §6 topology solved under several
+budget multipliers) twice:
+
+* ``cold`` — no candidate cache; every point pays full extraction,
+* ``warm`` — a :class:`repro.core.CandidateSetCache` pre-warmed by a single
+  untimed solve; every point then skips extraction and runs only the greedy
+  selection (the ``repro.serve`` candidate-tier / ``repro solve
+  --budget-sweep`` path).
+
+Besides wall-clock, the run *asserts* that warm results are byte-identical
+to cold ones (utility, strategies, greedy indices — serialized and
+compared), so the recorded speedup can never come from a divergent answer.
+The result is written as JSON (default: ``BENCH_2.json`` at the repo root,
+the checked-in record for this machine) with the standard provenance meta
+block.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache_reuse.py
+    PYTHONPATH=src python benchmarks/bench_cache_reuse.py --smoke --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CandidateSetCache, solve_hipo
+from repro.experiments import random_scenario
+from repro.io import strategies_to_list
+from repro.obs import MetricsRegistry, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SEED = 20260806
+
+
+def _multiplier_list(spec: str) -> list[int]:
+    try:
+        out = [int(x) for x in spec.split(",") if x]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid multiplier list {spec!r} (expected e.g. '1,2,3')")
+    if not out or any(k <= 0 for k in out):
+        raise argparse.ArgumentTypeError(f"multipliers must be positive: {spec!r}")
+    return out
+
+
+def make_scenario(seed: int, device_multiple: int, charger_multiple: int):
+    return random_scenario(
+        np.random.default_rng(seed),
+        device_multiple=device_multiple,
+        charger_multiple=charger_multiple,
+    )
+
+
+def fingerprint(solution) -> str:
+    """Canonical bytes of everything a sweep consumer reads off a solution."""
+    return json.dumps(
+        {
+            "utility": solution.utility,
+            "approx_utility": solution.approx_utility,
+            "strategies": strategies_to_list(solution.strategies),
+            "greedy": list(solution.greedy.indices),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def run_sweep_once(args, points, cache, registry):
+    """One timed pass over the budget points; returns (seconds, fingerprints)."""
+    scenario = make_scenario(args.seed, args.devices, args.chargers)
+    prints = []
+    t0 = time.perf_counter()
+    for budgets in points:
+        sol = solve_hipo(
+            scenario.with_budgets(budgets), candidate_cache=cache, metrics=registry
+        )
+        prints.append(fingerprint(sol))
+    return time.perf_counter() - t0, prints
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--devices", type=int, default=4, help="device multiple (of 4,3,2,1)")
+    parser.add_argument("--chargers", type=int, default=3, help="charger multiple (of 1,2,3)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of wall-clock repeats")
+    parser.add_argument(
+        "--multipliers",
+        type=_multiplier_list,
+        default="1,2,3,4",
+        help="comma-separated budget multipliers forming the sweep points",
+    )
+    parser.add_argument("--out", type=str, default=str(REPO_ROOT / "BENCH_2.json"))
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scenario, single repeat, two points (CI completeness check; "
+        "asserts byte-identity but no particular speedup)",
+    )
+    args = parser.parse_args(argv)
+
+    multipliers = args.multipliers
+    if args.smoke:
+        args.devices, args.chargers, args.repeats = 1, 1, 1
+        multipliers = [1, 2]
+
+    scenario = make_scenario(args.seed, args.devices, args.chargers)
+    points = [{name: n * k for name, n in scenario.budgets.items()} for k in multipliers]
+    print(
+        f"scenario: seed={args.seed} devices={scenario.num_devices} "
+        f"chargers={scenario.num_chargers} obstacles={len(scenario.obstacles)} "
+        f"sweep multipliers={multipliers}"
+    )
+
+    cold_runs, warm_runs = [], []
+    cold_prints = warm_prints = None
+    warm_registry = None
+    cache_stats = None
+    for _ in range(args.repeats):
+        cold_s, cold_prints = run_sweep_once(args, points, None, MetricsRegistry())
+        cold_runs.append(cold_s)
+
+        cache = CandidateSetCache(max_entries=max(4, len(points)))
+        # Pre-warm with one untimed solve: the steady state of a repeated /
+        # swept workload (the serve candidate tier after its first request).
+        solve_hipo(
+            make_scenario(args.seed, args.devices, args.chargers).with_budgets(points[0]),
+            candidate_cache=cache,
+        )
+        warm_registry = MetricsRegistry()
+        warm_s, warm_prints = run_sweep_once(args, points, cache, warm_registry)
+        warm_runs.append(warm_s)
+        cache_stats = cache.stats()
+
+    if cold_prints != warm_prints:
+        raise SystemExit("warm sweep results diverged from cold results")
+    byte_identical = True
+    if cache_stats["hits"] < len(points):
+        raise SystemExit(f"expected {len(points)} warm hits, got {cache_stats['hits']}")
+
+    cold_best, warm_best = min(cold_runs), min(warm_runs)
+    speedup = round(cold_best / warm_best, 3)
+    print(f"cold : {cold_best:.3f}s  ({len(points)} extractions)")
+    print(f"warm : {warm_best:.3f}s  (0 extractions, {cache_stats['hits']} hits)")
+    print(f"speedup: {speedup}x  byte-identical: {byte_identical}")
+    if not args.smoke and speedup < 5.0:
+        raise SystemExit(f"warm sweep only {speedup}x faster than cold (need >= 5x)")
+
+    payload = {
+        "scenario": {
+            "seed": args.seed,
+            "device_multiple": args.devices,
+            "charger_multiple": args.chargers,
+            "num_devices": scenario.num_devices,
+            "num_obstacles": len(scenario.obstacles),
+        },
+        "sweep": {"multipliers": multipliers, "points": len(points)},
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "cold": {"seconds": cold_best, "runs": [round(r, 4) for r in cold_runs]},
+        "warm": {
+            "seconds": warm_best,
+            "runs": [round(r, 4) for r in warm_runs],
+            "cache": cache_stats,
+        },
+        "speedup_warm_vs_cold": speedup,
+        "byte_identical": byte_identical,
+    }
+    out = write_bench_json(
+        Path(args.out), "cache_reuse", payload, metrics=warm_registry.snapshot()
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

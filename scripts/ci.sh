@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 gate: full test suite, the extraction-scaling bench in smoke mode
-# (tiny scenario; asserts the bench completes and emits well-formed
-# meta-stamped JSON, not any particular speedup), an observability
+# Tier-1 gate: full test suite, the extraction-scaling and cache-reuse
+# benches in smoke mode (tiny scenarios; assert the benches complete,
+# emit well-formed meta-stamped JSON and — for the cache bench — produce
+# byte-identical warm results, not any particular speedup), an observability
 # smoke run: a traced multi-worker solve whose JSONL trace must validate
 # against the repro.trace/v1 schema (every line parses, required keys
 # present, root span covers child spans), and a serve smoke run: boot
@@ -31,6 +32,17 @@ assert doc['meta']['schema'] == 'repro.bench/v1', doc.get('meta')
 assert doc['meta']['cpu_count'] and doc['meta']['python'], doc['meta']
 print('smoke bench JSON ok (meta stamped)')
 " "$SMOKE_OUT"
+
+CACHE_OUT="${TMPDIR:-/tmp}/bench_cache_smoke.json"
+python benchmarks/bench_cache_reuse.py --smoke --out "$CACHE_OUT"
+python -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['meta']['schema'] == 'repro.bench/v1', doc.get('meta')
+assert doc['byte_identical'] is True, doc
+assert doc['warm']['cache']['hits'] >= doc['sweep']['points'], doc['warm']
+print('cache-reuse smoke bench ok (warm byte-identical)')
+" "$CACHE_OUT"
 
 TRACE_OUT="${TMPDIR:-/tmp}/repro_trace_smoke.jsonl"
 python -m repro solve --seed 3 --devices 1 --chargers 1 --workers 2 \

@@ -2,9 +2,11 @@
 # Serve smoke test (`make serve-smoke`; also run by scripts/ci.sh): boot
 # `repro serve` in the background on an ephemeral port, curl /v1/healthz,
 # run one solve to completion, verify the second identical POST is served
-# from the cache byte-identically (no solve span in its trace), check
-# /v1/metrics reflects the hit/miss counts, then shut down cleanly via
-# SIGTERM and assert the graceful-exit message.
+# from the cache byte-identically (no solve span in its trace), verify the
+# candidate tier (same geometry under different budgets answers immediately
+# with cache_tier=candidates), check /v1/metrics reflects both tiers'
+# hit/miss counts, then shut down cleanly via SIGTERM and assert the
+# graceful-exit message.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -77,13 +79,37 @@ assert json.dumps(doc['result'], sort_keys=True) == json.dumps(first, sort_keys=
 print('serve cache round-trip ok (byte-identical, no solve span)')
 " "$SERVE_DIR"
 
+# Candidate tier: same geometry, different budgets.  The full cache cannot
+# match, but extraction must be reused — expect an immediate (HTTP 200)
+# done job tagged cache_tier=candidates.
+python -c "
+import json, sys
+d = sys.argv[1]
+with open(d + '/scenario.json') as f:
+    scenario = json.load(f)
+scenario['budgets'] = {k: v + 1 for k, v in scenario['budgets'].items()}
+with open(d + '/request_budgets.json', 'w') as f:
+    json.dump({'scenario': scenario}, f)
+" "$SERVE_DIR"
+curl -sf -X POST "$BASE/v1/solve" -H 'Content-Type: application/json' \
+    --data-binary @"$SERVE_DIR/request_budgets.json" | python -c "
+import json, sys
+doc = json.load(sys.stdin)
+assert doc['state'] == 'done', doc
+assert doc.get('cache_tier') == 'candidates', doc
+print('serve candidate-tier ok (cache_tier=%s)' % doc['cache_tier'])
+"
+
 curl -sf "$BASE/v1/metrics" | python -c "
 import json, sys
 doc = json.load(sys.stdin)
 c = doc['metrics']['counters']
 assert doc['cache']['hits'] >= 1 and doc['cache']['misses'] >= 1, doc['cache']
 assert c.get('serve.jobs.done', 0) >= 1, c
-print('serve metrics ok (hits=%d misses=%d)' % (doc['cache']['hits'], doc['cache']['misses']))
+assert c.get('cache.candidates.hits', 0) >= 1, c
+assert doc['candidate_cache']['entries'] >= 1, doc['candidate_cache']
+print('serve metrics ok (hits=%d misses=%d candidate_hits=%d)'
+      % (doc['cache']['hits'], doc['cache']['misses'], c['cache.candidates.hits']))
 "
 
 kill -TERM "$SERVE_PID"

@@ -107,6 +107,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the run report: per-phase span tree plus metric tables",
     )
+    solve.add_argument(
+        "--candidate-cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persistent candidate-set cache directory: repeated solves of the "
+        "same geometry skip extraction (docs/serving.md, 'cache tiers')",
+    )
+    solve.add_argument(
+        "--budget-sweep",
+        type=str,
+        default=None,
+        metavar="K1,K2,...",
+        help="solve once per comma-separated budget multiplier (budgets scaled "
+        "per type), reusing one extraction across all points",
+    )
     solve.add_argument("--svg", type=str, default=None, help="write an SVG placement map here")
     solve.add_argument("--map", action="store_true", help="print an ASCII map")
     solve.add_argument("--save", type=str, default=None, help="save scenario + placement as JSON")
@@ -167,6 +183,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="max total bytes of cached results (LRU-evicted)",
     )
     serve.add_argument(
+        "--candidate-cache-size",
+        type=_positive_int,
+        default=64,
+        help="max entries in the candidate-set (extraction) cache tier",
+    )
+    serve.add_argument(
+        "--candidate-cache-bytes",
+        type=_positive_int,
+        default=128 * 1024 * 1024,
+        help="max total bytes of cached candidate sets (LRU-evicted)",
+    )
+    serve.add_argument(
+        "--candidate-cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist the candidate tier to this directory (survives restarts)",
+    )
+    serve.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -222,7 +257,14 @@ def _cmd_solve(args) -> int:
             charger_multiple=args.chargers,
             device_multiple=args.devices,
         )
-    sol = solve_hipo(scenario, eps=args.eps, workers=args.workers)
+    cache = None
+    if args.candidate_cache or args.budget_sweep:
+        from .core import CandidateSetCache
+
+        cache = CandidateSetCache(directory=args.candidate_cache)
+    if args.budget_sweep:
+        return _solve_budget_sweep(args, scenario, cache)
+    sol = solve_hipo(scenario, eps=args.eps, workers=args.workers, candidate_cache=cache)
     print(f"devices={scenario.num_devices} chargers={scenario.num_chargers} eps={args.eps}")
     print(f"charging utility = {sol.utility:.4f} (approx objective {sol.approx_utility:.4f})")
     if args.timings and sol.timings is not None:
@@ -254,6 +296,43 @@ def _cmd_solve(args) -> int:
 
         save_scenario(args.save, scenario, sol.strategies)
         print(f"wrote {args.save}")
+    return 0
+
+
+def _solve_budget_sweep(args, scenario, cache) -> int:
+    """``repro solve --budget-sweep K1,K2,...``: one extraction, many budgets."""
+    import time
+
+    from .experiments.sweeps import budget_sweep
+
+    try:
+        factors = [int(x) for x in args.budget_sweep.split(",") if x.strip()]
+    except ValueError:
+        print(f"--budget-sweep: expected comma-separated integers, got {args.budget_sweep!r}")
+        return 2
+    if not factors or any(k <= 0 for k in factors):
+        print(f"--budget-sweep: expected positive multipliers, got {args.budget_sweep!r}")
+        return 2
+    points = [{name: n * k for name, n in scenario.budgets.items()} for k in factors]
+    t0 = time.perf_counter()
+    solutions = budget_sweep(
+        scenario, points, eps=args.eps, candidate_cache=cache, workers=args.workers
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"devices={scenario.num_devices} eps={args.eps} "
+        f"budget sweep over multipliers {factors}"
+    )
+    for budgets, k, sol in zip(points, factors, solutions):
+        print(
+            f"  x{k}: chargers={sum(budgets.values())} "
+            f"selected={len(sol.strategies)} utility={sol.utility:.4f}"
+        )
+    stats = cache.stats()
+    print(
+        f"{len(factors)} solves in {elapsed:.3f}s — extractions paid: "
+        f"{stats['misses']}, warm starts: {stats['hits']}"
+    )
     return 0
 
 
@@ -334,6 +413,9 @@ def _cmd_serve(args) -> int:
         queue_size=args.queue_size,
         cache_entries=args.cache_size,
         cache_bytes=args.cache_bytes,
+        candidate_cache_entries=args.candidate_cache_size,
+        candidate_cache_bytes=args.candidate_cache_bytes,
+        candidate_cache_dir=args.candidate_cache,
         default_timeout_s=args.timeout,
         verbose=not args.quiet,
     )

@@ -31,6 +31,14 @@ from .placement import (
     solve_hipo,
     solve_hipo_hardened,
 )
+from .reuse import (
+    CandidateSetCache,
+    active_candidate_cache,
+    deserialize_candidate_set,
+    extraction_cache_key,
+    serialize_candidate_set,
+    use_candidate_cache,
+)
 
 __all__ = [
     "ApproxPowerCalculator",
@@ -40,6 +48,7 @@ __all__ = [
     "BoundaryCurves",
     "CandidateGenerator",
     "CandidateSet",
+    "CandidateSetCache",
     "HIPOSolution",
     "PairApproximation",
     "PhaseTimings",
@@ -47,20 +56,25 @@ __all__ = [
     "SolveCancelled",
     "SweptCandidate",
     "TaskMeasurement",
+    "active_candidate_cache",
     "assign_tasks",
     "build_candidate_set",
     "check_cancel",
+    "deserialize_candidate_set",
     "epsilon1_for",
     "extract_pdcs_at_point",
+    "extraction_cache_key",
     "extraction_pool",
     "filter_dominated_sets",
     "measure_task_costs",
     "parallel_positions_by_type",
     "positions_by_type_pooled",
     "select_strategies",
+    "serialize_candidate_set",
     "simulate_distributed_times",
     "solve_hipo",
     "solve_hipo_hardened",
     "strategies_at_point",
     "sweep_position_batch",
+    "use_candidate_cache",
 ]

@@ -222,10 +222,18 @@ class CandidateGenerator:
         chunks = [c for c in chunks if len(c)]
         if not chunks:
             return np.zeros((0, 2))
-        pts = dedupe_points(np.vstack(chunks))
+        return self.apply_position_cap(dedupe_points(np.vstack(chunks)))
+
+    def apply_position_cap(self, pts: np.ndarray) -> np.ndarray:
+        """The ``max_positions`` stratified subsample (no-op without a cap).
+
+        Factored out so the pooled extraction path can gather per-task
+        chunks in the parent and then apply *exactly* the serial cap —
+        per-worker subsampling would not commute with the global one.
+        """
         if self.max_positions is not None and len(pts) > self.max_positions:
             step = int(math.ceil(len(pts) / self.max_positions))
-            pts = pts[::step]
+            return pts[::step]
         return pts
 
     # -- helpers ---------------------------------------------------------------

@@ -172,21 +172,32 @@ def simulate_distributed_times(
 _WORKER_GEN: CandidateGenerator | None = None
 
 
-def _pool_init(scenario: Scenario, eps: float) -> None:
+def _pool_init(scenario: Scenario, eps: float, max_positions: int | None = None) -> None:
     global _WORKER_GEN
-    _WORKER_GEN = CandidateGenerator(scenario, eps=eps)
+    _WORKER_GEN = CandidateGenerator(scenario, eps=eps, max_positions=max_positions)
 
 
-def extraction_pool(scenario: Scenario, eps: float, workers: int) -> ProcessPoolExecutor:
+def extraction_pool(
+    scenario: Scenario, eps: float, workers: int, *, max_positions: int | None = None
+) -> ProcessPoolExecutor:
     """A process pool whose workers hold the scenario-bound extraction state.
 
     The scenario is pickled once per worker (pool initializer), not once per
     task; the same pool serves both the per-device position tasks
     (:func:`positions_by_type_pooled`) and the batched PDCS sweep tasks used
-    by :func:`~repro.core.placement.build_candidate_set`.
+    by :func:`~repro.core.placement.build_candidate_set`.  The generator's
+    approximation parameters (``eps``, ``max_positions``) are shipped so the
+    worker-side state matches the caller's generator; note the
+    ``max_positions`` cap itself is applied by the *parent* after gathering
+    (per-task subsampling would not equal the serial global subsample).
+    Custom :class:`CandidateGenerator` *subclasses* cannot be reproduced in
+    workers and must not be pooled — ``build_candidate_set`` guards this by
+    falling back to the in-process path.
     """
     return ProcessPoolExecutor(
-        max_workers=workers, initializer=_pool_init, initargs=(scenario, eps)
+        max_workers=workers,
+        initializer=_pool_init,
+        initargs=(scenario, eps, max_positions),
     )
 
 

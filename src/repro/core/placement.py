@@ -43,6 +43,7 @@ from .distributed import (
     positions_by_type_pooled,
 )
 from .pdcs import SweptCandidate, sweep_orientations, sweep_position_batch
+from .reuse import CandidateSetCache, active_candidate_cache, extraction_cache_key
 
 __all__ = [
     "CandidateSet",
@@ -208,9 +209,14 @@ def build_candidate_set(
     ``workers > 1`` fans the work out over a :func:`extraction_pool` whose
     workers receive the scenario once (pool initializer): the per-device
     position tasks of Algorithm 4 and the chunked PDCS sweeps both run in the
-    pool.  ``batched=False`` keeps the legacy one-position-at-a-time kernels
-    (benchmark reference).  Serial, batched and multi-worker paths produce
-    identical candidate sets in identical order.
+    pool.  The pool ships the generator's approximation parameters (``eps``,
+    ``max_positions``), so a plain :class:`CandidateGenerator` with custom
+    parameters pools correctly; a *subclassed* generator cannot be rebuilt in
+    workers, so both pooled phases fall back to the in-process path for it
+    (correctness over parallelism).  ``batched=False`` keeps the legacy
+    one-position-at-a-time kernels (benchmark reference).  Serial, batched
+    and multi-worker paths produce identical candidate sets in identical
+    order.
 
     Observability: the phases run inside ``extraction`` → ``positions`` /
     ``sweeps`` spans on *tracer* (a private tracer is created when none is
@@ -222,13 +228,15 @@ def build_candidate_set(
     trace = tracer if tracer is not None else Tracer()
     mreg = metrics if metrics is not None else MetricsRegistry()
     gen = generator if generator is not None else CandidateGenerator(scenario, eps=eps)
+    plain_generator = generator is None or type(generator) is CandidateGenerator
     ev = scenario.evaluator()
     approx = gen.approx
     strategies: list[Strategy] = []
-    approx_rows: list[np.ndarray] = []
-    exact_rows: list[np.ndarray] = []
+    covered_idx: list[np.ndarray] = []
+    approx_vals: list[np.ndarray] = []
+    exact_vals: list[np.ndarray] = []
     part_of: list[int] = []
-    seen: dict = {}
+    seen: set[bytes] = set()
     positions_per_type: dict[str, int] = {}
     capacities = [int(scenario.budgets.get(ct.name, 0)) for ct in scenario.charger_types]
     nworkers = max(1, int(workers or 1))
@@ -237,23 +245,30 @@ def build_candidate_set(
     dedupe_s = 0.0  # wall-clock inside absorb()
 
     def absorb(q: int, ct, records: list[SweptCandidate]) -> None:
-        """Dedupe swept candidates and append their power rows (timed)."""
+        """Dedupe swept candidates and stash their compact rows (timed).
+
+        The dedupe key is a single bytes object (type index, covered
+        indices, rounded approx powers) hashed once on set insertion —
+        unambiguous because the two arrays always have equal length.  Full
+        power rows are NOT materialized here; the compact (indices, values)
+        pairs are scattered into two preallocated matrices once, after all
+        sweeps (cheaper than two fresh full-width zero rows per candidate
+        plus a final vstack).
+        """
         nonlocal dedupe_s
         t0 = time.perf_counter()
         kept = 0
+        qb = q.to_bytes(4, "little")
         for rec in records:
-            key = (q, rec.covered, rec.approx_powers.round(12).tobytes())
+            covered = np.asarray(rec.covered, dtype=np.int64)
+            key = b"".join((qb, covered.tobytes(), rec.approx_powers.round(12).tobytes()))
             if key in seen:
                 continue
-            seen[key] = True
-            covered = np.asarray(rec.covered, dtype=int)
-            row_a = np.zeros(ev.num_devices)
-            row_e = np.zeros(ev.num_devices)
-            row_a[covered] = rec.approx_powers
-            row_e[covered] = rec.exact_powers
+            seen.add(key)
             strategies.append(Strategy(rec.position, rec.orientation, ct))
-            approx_rows.append(row_a)
-            exact_rows.append(row_e)
+            covered_idx.append(covered)
+            approx_vals.append(rec.approx_powers)
+            exact_vals.append(rec.exact_powers)
             part_of.append(q)
             kept += 1
         dedupe_s += time.perf_counter() - t0
@@ -272,11 +287,15 @@ def build_candidate_set(
                         pos_map[ct.name] = np.asarray(
                             positions_by_type.get(ct.name, np.zeros((0, 2))), dtype=float
                         )
-                elif use_pool and generator is None and active:
-                    pool = extraction_pool(scenario, gen.eps, nworkers)
+                elif use_pool and plain_generator and active:
+                    pool = extraction_pool(
+                        scenario, gen.eps, nworkers, max_positions=gen.max_positions
+                    )
                     pooled = positions_by_type_pooled(pool, scenario, cancel=cancel)
                     for q, ct in active:
-                        pos_map[ct.name] = pooled.get(ct.name, np.zeros((0, 2)))
+                        pos_map[ct.name] = gen.apply_position_cap(
+                            pooled.get(ct.name, np.zeros((0, 2)))
+                        )
                 else:
                     for q, ct in active:
                         check_cancel(cancel)
@@ -325,9 +344,11 @@ def build_candidate_set(
                                 (ct.name, positions[lo : lo + position_chunk], los_chunk_size)
                             )
                             task_meta.append((q, ct))
-                    if use_pool and tasks:
+                    if use_pool and plain_generator and tasks:
                         if pool is None:
-                            pool = extraction_pool(scenario, gen.eps, nworkers)
+                            pool = extraction_pool(
+                                scenario, gen.eps, nworkers, max_positions=gen.max_positions
+                            )
                         for (q, ct), (records, task_sweep_s, snap) in zip(
                             task_meta, pool.map(_sweep_task, tasks)
                         ):
@@ -365,12 +386,11 @@ def build_candidate_set(
 
     timings = PhaseTimings.from_trace(trace)
 
-    if strategies:
-        approx_power = np.vstack(approx_rows)
-        exact_power = np.vstack(exact_rows)
-    else:
-        approx_power = np.zeros((0, ev.num_devices))
-        exact_power = np.zeros((0, ev.num_devices))
+    approx_power = np.zeros((len(strategies), ev.num_devices))
+    exact_power = np.zeros((len(strategies), ev.num_devices))
+    for k, covered in enumerate(covered_idx):
+        approx_power[k, covered] = approx_vals[k]
+        exact_power[k, covered] = exact_vals[k]
     return CandidateSet(
         strategies, approx_power, exact_power, part_of, capacities, positions_per_type, timings
     )
@@ -441,6 +461,7 @@ def solve_hipo(
     keep_candidates: bool = False,
     workers: int | None = None,
     batched: bool = True,
+    candidate_cache: CandidateSetCache | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     cancel=None,
@@ -454,6 +475,17 @@ def solve_hipo(
     token polled throughout extraction and before selection
     (:class:`~repro.core.distributed.SolveCancelled` on fire) — the
     mechanism behind ``repro.serve`` job timeouts and cancellation.
+
+    *candidate_cache* (or, when omitted, the ambient cache installed by
+    :func:`~repro.core.reuse.use_candidate_cache`) warm-starts the solve:
+    when the extraction-relevant slice of *scenario* (geometry, hardware
+    tables, active types, ``eps`` — see
+    :func:`repro.io.canonical_extraction_hash`) hits the cache, the whole
+    extraction phase is skipped and only the millisecond greedy selection
+    runs.  Results are byte-identical to a cold solve (tested); the
+    ``extraction`` span then carries ``cached=True`` and cache traffic
+    lands on the cache's ``cache.candidates.*`` counters.  The cache is
+    bypassed when *positions_by_type* overrides extraction.
 
     Every solve is traced: a ``solve`` root span contains the
     ``extraction`` and ``selection`` phase spans, and the returned
@@ -472,17 +504,35 @@ def solve_hipo(
         workers=max(1, int(workers or 1)),
     ) as root_sp:
         t0 = time.perf_counter()
-        candidates = build_candidate_set(
-            scenario,
-            eps=eps,
-            generator=generator,
-            positions_by_type=positions_by_type,
-            workers=workers,
-            batched=batched,
-            tracer=trace,
-            metrics=mreg,
-            cancel=cancel,
-        )
+        cache = candidate_cache if candidate_cache is not None else active_candidate_cache()
+        cache_key: str | None = None
+        candidates = None
+        if cache is not None and positions_by_type is None:
+            cache_key = extraction_cache_key(scenario, eps=eps, generator=generator)
+            candidates = cache.get(cache_key, scenario)
+        if candidates is not None:
+            with trace.span(
+                "extraction", workers=max(1, int(workers or 1)), cached=True
+            ) as ext_sp:
+                ext_sp.set(
+                    positions=sum(candidates.positions_per_type.values()),
+                    candidates=candidates.num_candidates,
+                )
+            candidates.timings = PhaseTimings.from_trace(trace)
+        else:
+            candidates = build_candidate_set(
+                scenario,
+                eps=eps,
+                generator=generator,
+                positions_by_type=positions_by_type,
+                workers=workers,
+                batched=batched,
+                tracer=trace,
+                metrics=mreg,
+                cancel=cancel,
+            )
+            if cache is not None and cache_key is not None:
+                cache.put(cache_key, candidates)
         t1 = time.perf_counter()
         check_cancel(cancel)
         with trace.span("selection", candidates=candidates.num_candidates, lazy=lazy) as sel_sp:

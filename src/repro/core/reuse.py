@@ -1,0 +1,447 @@
+"""Candidate-set reuse: byte-stable serialization + content-addressed cache.
+
+Extraction (candidate positions + PDCS sweeps, Algorithms 1/4) dominates
+solve wall-clock, yet its output — the :class:`~repro.core.placement.CandidateSet`
+— depends only on the geometry, the hardware tables, which charger types are
+active and ``eps``.  Budgets, thresholds and greedy flags only shape the
+(millisecond) selection that follows.  This module lets repeated and swept
+workloads pay the expensive phase once:
+
+* :func:`serialize_candidate_set` / :func:`deserialize_candidate_set` — a
+  byte-stable, npz-style binary codec for candidate sets (canonical JSON
+  header + raw C-order array payload; equal sets always serialize to equal
+  bytes, unlike ``np.savez`` whose zip members embed timestamps).
+* :class:`CandidateSetCache` — a thread-safe, bytes-bounded LRU over the
+  serialized blobs, keyed by :func:`repro.io.canonical_extraction_hash`
+  (via :func:`extraction_cache_key`), with optional on-disk persistence.
+* :func:`use_candidate_cache` — an ambient (context-local) default cache
+  that :func:`~repro.core.placement.solve_hipo` consults when no explicit
+  ``candidate_cache`` is passed, so sweep engines can warm-start every
+  solve in a block without threading the cache through each call site.
+
+On a hit the deserialized set is *re-bound* to the requesting scenario:
+strategies point at the scenario's own :class:`~repro.model.ChargerType`
+objects and the matroid capacities are re-derived from its budgets — the
+two pieces of a candidate set that legitimately vary under the shared key.
+Solutions from a warm start are byte-identical to cold ones (tested).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from contextvars import ContextVar
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from ..io import canonical_extraction_hash, canonical_json
+from ..model.entities import Strategy
+from ..model.network import Scenario
+from ..model.types import ChargerType
+from ..obs import MetricsRegistry
+from .candidates import CandidateGenerator
+
+if TYPE_CHECKING:
+    from .placement import CandidateSet
+
+__all__ = [
+    "CANDIDATE_BLOB_MAGIC",
+    "CandidateSetCache",
+    "active_candidate_cache",
+    "deserialize_candidate_set",
+    "extraction_cache_key",
+    "serialize_candidate_set",
+    "use_candidate_cache",
+]
+
+#: Leading bytes of every serialized candidate set (format version 1).
+CANDIDATE_BLOB_MAGIC = b"repro.candidates/v1\n"
+
+#: Array fields of the codec, in payload order: name -> (dtype, rank).
+_ARRAY_FIELDS: tuple[tuple[str, str], ...] = (
+    ("approx_power", "<f8"),
+    ("exact_power", "<f8"),
+    ("part_of", "<i8"),
+    ("positions", "<f8"),
+    ("orientations", "<f8"),
+    ("ctype_index", "<i8"),
+)
+
+
+def extraction_cache_key(
+    scenario: Scenario,
+    *,
+    eps: float = 0.15,
+    generator: CandidateGenerator | None = None,
+) -> str:
+    """The content-address under which this scenario's extraction is cached.
+
+    Wraps :func:`repro.io.canonical_extraction_hash`, folding in the
+    extraction-affecting generator parameters: a custom generator's ``eps``
+    overrides the argument (matching :func:`build_candidate_set`), its
+    ``max_positions`` cap changes the candidate set, and a *subclassed*
+    generator keys on its qualified class name so exotic extractors never
+    collide with the stock one.
+    """
+    params: dict[str, Any] = {"max_positions": None}
+    if generator is not None:
+        eps = generator.eps
+        params["max_positions"] = generator.max_positions
+        if type(generator) is not CandidateGenerator:
+            cls = type(generator)
+            params["generator"] = f"{cls.__module__}.{cls.__qualname__}"
+    return canonical_extraction_hash(scenario, eps=eps, params=params)
+
+
+def serialize_candidate_set(candidates: "CandidateSet") -> bytes:
+    """Encode a candidate set as deterministic bytes.
+
+    Layout: :data:`CANDIDATE_BLOB_MAGIC`, a 16-digit ASCII header length,
+    the canonical-JSON header (array manifest + charger-type catalogue +
+    capacities + per-type position counts), then the raw C-order array
+    bytes concatenated in manifest order.  Two equal candidate sets always
+    produce identical bytes (the property the content-addressed cache and
+    the byte-identical warm-start guarantee rest on).
+    """
+    ctype_names: list[str] = []
+    ctype_defs: list[dict[str, Any]] = []
+    index_of: dict[str, int] = {}
+    for s in candidates.strategies:
+        if s.ctype.name not in index_of:
+            index_of[s.ctype.name] = len(ctype_names)
+            ctype_names.append(s.ctype.name)
+            ctype_defs.append(
+                {
+                    "name": s.ctype.name,
+                    "charging_angle": s.ctype.charging_angle,
+                    "dmin": s.ctype.dmin,
+                    "dmax": s.ctype.dmax,
+                }
+            )
+    n = candidates.num_candidates
+    arrays: dict[str, np.ndarray] = {
+        "approx_power": np.ascontiguousarray(candidates.approx_power, dtype="<f8"),
+        "exact_power": np.ascontiguousarray(candidates.exact_power, dtype="<f8"),
+        "part_of": np.asarray(candidates.part_of, dtype="<i8").reshape(n),
+        "positions": np.ascontiguousarray(
+            [[s.position[0], s.position[1]] for s in candidates.strategies], dtype="<f8"
+        ).reshape(n, 2),
+        "orientations": np.asarray(
+            [s.orientation for s in candidates.strategies], dtype="<f8"
+        ).reshape(n),
+        "ctype_index": np.asarray(
+            [index_of[s.ctype.name] for s in candidates.strategies], dtype="<i8"
+        ).reshape(n),
+    }
+    manifest = [
+        {"name": name, "dtype": dtype, "shape": list(arrays[name].shape)}
+        for name, dtype in _ARRAY_FIELDS
+    ]
+    header = canonical_json(
+        {
+            "arrays": manifest,
+            "capacities": [int(c) for c in candidates.capacities],
+            "ctypes": ctype_defs,
+            "num_devices": int(candidates.approx_power.shape[1]),
+            "positions_per_type": {
+                k: int(v) for k, v in candidates.positions_per_type.items()
+            },
+        }
+    ).encode("utf-8")
+    parts = [CANDIDATE_BLOB_MAGIC, b"%016d" % len(header), header]
+    for name, _dtype in _ARRAY_FIELDS:
+        parts.append(arrays[name].tobytes(order="C"))
+    return b"".join(parts)
+
+
+def deserialize_candidate_set(
+    blob: bytes, scenario: Scenario | None = None
+) -> "CandidateSet":
+    """Rebuild a candidate set from :func:`serialize_candidate_set` bytes.
+
+    With *scenario* given, the set is re-bound to it: strategies reference
+    the scenario's own charger-type objects and the matroid capacities are
+    re-derived from the scenario's *current* budgets (the one part of a
+    candidate set that varies under the shared extraction key).  Without a
+    scenario the stored catalogue and capacities are used verbatim.
+    """
+    from .placement import CandidateSet
+
+    if not blob.startswith(CANDIDATE_BLOB_MAGIC):
+        raise ValueError("not a serialized candidate set (bad magic)")
+    off = len(CANDIDATE_BLOB_MAGIC)
+    header_len = int(blob[off : off + 16])
+    off += 16
+    header = json.loads(blob[off : off + header_len].decode("utf-8"))
+    off += header_len
+    arrays: dict[str, np.ndarray] = {}
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(x) for x in spec["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
+        arrays[spec["name"]] = (
+            np.frombuffer(blob, dtype=dtype, count=int(np.prod(shape)), offset=off)
+            .reshape(shape)
+            .copy()
+        )
+        off += nbytes
+    stored_types = [
+        ChargerType(d["name"], d["charging_angle"], d["dmin"], d["dmax"])
+        for d in header["ctypes"]
+    ]
+    if scenario is not None:
+        catalogue = {ct.name: ct for ct in scenario.charger_types}
+        try:
+            ctypes = [catalogue[ct.name] for ct in stored_types]
+        except KeyError as exc:
+            raise ValueError(
+                f"cached candidate set references unknown charger type {exc.args[0]!r}"
+            ) from None
+        capacities = [int(scenario.budgets.get(ct.name, 0)) for ct in scenario.charger_types]
+    else:
+        ctypes = stored_types
+        capacities = [int(c) for c in header["capacities"]]
+    strategies = [
+        Strategy(
+            (float(arrays["positions"][k, 0]), float(arrays["positions"][k, 1])),
+            float(arrays["orientations"][k]),
+            ctypes[int(arrays["ctype_index"][k])],
+        )
+        for k in range(len(arrays["orientations"]))
+    ]
+    return CandidateSet(
+        strategies=strategies,
+        approx_power=arrays["approx_power"],
+        exact_power=arrays["exact_power"],
+        part_of=[int(q) for q in arrays["part_of"]],
+        capacities=capacities,
+        positions_per_type={
+            str(k): int(v) for k, v in header["positions_per_type"].items()
+        },
+        timings=None,
+    )
+
+
+class CandidateSetCache:
+    """Bounded LRU of serialized candidate sets, optionally disk-backed.
+
+    Values are the deterministic bytes of :func:`serialize_candidate_set`,
+    so the byte size bounding ``max_bytes`` is exact and a hit reconstructs
+    the identical candidate set the miss stored.  With *directory* given,
+    every store is also persisted as ``<key>.candidates`` (written to a
+    temp file, then atomically renamed) and memory misses fall back to
+    disk, so warm starts survive process restarts; LRU eviction only trims
+    memory, never the directory.
+
+    Counters land on *metrics* under ``cache.candidates.*`` (``hits`` /
+    ``misses`` / ``evictions`` / ``stores`` / ``oversize`` /
+    ``disk_loads``) plus peak gauges ``cache.candidates.entries`` /
+    ``bytes``.  The registry is not thread-safe: callers sharing *metrics*
+    with other components must pass the lock guarding it as *lock* (the
+    serve layer shares its service-wide registry lock), mirroring
+    :class:`repro.serve.cache.SolveCache`.  All map/registry mutations run
+    under that one lock; serialization and disk I/O happen outside it.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 64,
+        max_bytes: int = 256 * 1024 * 1024,
+        *,
+        directory: str | os.PathLike[str] | None = None,
+        metrics: MetricsRegistry | None = None,
+        lock: threading.Lock | None = None,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Guards ``_entries``/``_bytes`` *and* the registry (one lock per
+        #: registry; see the class docstring).
+        self._lock = lock if lock is not None else threading.Lock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+
+    # -- core ------------------------------------------------------------
+    def get_bytes(self, key: str) -> bytes | None:
+        """The serialized candidate set for *key*, or ``None`` on miss.
+
+        A memory hit moves the entry to most-recently-used; with a
+        persistence directory, memory misses are re-loaded from disk (and
+        re-inserted) before counting as a miss.
+        """
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+                self.metrics.inc("cache.candidates.hits")
+                return blob
+        disk = self._read_disk(key)
+        if disk is None:
+            with self._lock:
+                self.metrics.inc("cache.candidates.misses")
+            return None
+        with self._lock:
+            self._insert_locked(key, disk)
+            self.metrics.inc("cache.candidates.hits")
+            self.metrics.inc("cache.candidates.disk_loads")
+        return disk
+
+    def put_bytes(self, key: str, blob: bytes) -> bool:
+        """Store serialized bytes under *key*; returns whether it cached."""
+        if len(blob) > self.max_bytes:
+            with self._lock:
+                self.metrics.inc("cache.candidates.oversize")
+            return False
+        self._write_disk(key, blob)
+        with self._lock:
+            self._insert_locked(key, blob)
+            self.metrics.inc("cache.candidates.stores")
+        return True
+
+    def get(self, key: str, scenario: Scenario | None = None) -> "CandidateSet | None":
+        """Deserialized candidate set for *key* (re-bound to *scenario*)."""
+        blob = self.get_bytes(key)
+        if blob is None:
+            return None
+        return deserialize_candidate_set(blob, scenario)
+
+    def put(self, key: str, candidates: "CandidateSet") -> bool:
+        """Serialize and store one candidate set."""
+        return self.put_bytes(key, serialize_candidate_set(candidates))
+
+    def _insert_locked(self, key: str, blob: bytes) -> None:
+        """Insert + LRU-evict; caller holds ``self._lock``."""
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old)
+        while self._entries and (
+            len(self._entries) >= self.max_entries
+            or self._bytes + len(blob) > self.max_bytes
+        ):
+            _, victim = self._entries.popitem(last=False)
+            self._bytes -= len(victim)
+            self.metrics.inc("cache.candidates.evictions")
+        self._entries[key] = blob
+        self._bytes += len(blob)
+        self.metrics.gauge("cache.candidates.entries", float(len(self._entries)))
+        self.metrics.gauge("cache.candidates.bytes", float(self._bytes))
+
+    # -- disk persistence ------------------------------------------------
+    def _path_for(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        safe = "".join(c for c in key if c.isalnum() or c in "-_")
+        return self.directory / f"{safe}.candidates"
+
+    def _read_disk(self, key: str) -> bytes | None:
+        path = self._path_for(key)
+        if path is None:
+            return None
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if not blob.startswith(CANDIDATE_BLOB_MAGIC):
+            return None
+        return blob
+
+    def _write_disk(self, key: str, blob: bytes) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp, path)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+        except OSError:
+            # Persistence is best-effort; the in-memory tier still works.
+            pass
+
+    # -- introspection ---------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        """Whether *key* would hit (memory, or the persistence directory)."""
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self._read_disk(key) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict[str, Any]:
+        """Live view (counters cumulative; entries/bytes current)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "persistent": self.directory is not None,
+                "hits": self.metrics.counter("cache.candidates.hits"),
+                "misses": self.metrics.counter("cache.candidates.misses"),
+                "evictions": self.metrics.counter("cache.candidates.evictions"),
+            }
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (the persistence directory is kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+
+#: Ambient default cache consulted by ``solve_hipo`` when no explicit
+#: ``candidate_cache`` is passed (context-local, so concurrent service
+#: threads and nested scopes stay independent).
+_ACTIVE_CACHE: ContextVar[CandidateSetCache | None] = ContextVar(
+    "repro_candidate_cache", default=None
+)
+
+
+def active_candidate_cache() -> CandidateSetCache | None:
+    """The ambient candidate cache of the current context, if any."""
+    return _ACTIVE_CACHE.get()
+
+
+@contextlib.contextmanager
+def use_candidate_cache(cache: CandidateSetCache) -> Iterator[CandidateSetCache]:
+    """Make *cache* the ambient candidate cache for the enclosed block.
+
+    Every :func:`~repro.core.placement.solve_hipo` call inside the block
+    (that does not pass its own ``candidate_cache``) warm-starts from it —
+    how the sweep engines share one extraction across many solves without
+    changing every call signature::
+
+        with use_candidate_cache(CandidateSetCache()) as cache:
+            for budgets in sweep:
+                solve_hipo(scenario.with_budgets(budgets))
+    """
+    token = _ACTIVE_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE.reset(token)

@@ -12,15 +12,23 @@ installer would not mount a charger inside a wall).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
+from ..core.placement import HIPOSolution, solve_hipo
+from ..core.reuse import CandidateSetCache
 from ..model.entities import Strategy
 from ..model.network import Scenario
 
-__all__ = ["RobustnessCurve", "perturb_strategies", "placement_robustness"]
+__all__ = [
+    "RobustnessCurve",
+    "ThresholdSensitivity",
+    "perturb_strategies",
+    "placement_robustness",
+    "threshold_sensitivity",
+]
 
 
 def perturb_strategies(
@@ -106,3 +114,67 @@ def placement_robustness(
         means.append(float(np.mean(vals)))
         worsts.append(float(np.min(vals)))
     return RobustnessCurve(list(map(float, sigmas)), means, worsts, nominal)
+
+
+@dataclass
+class ThresholdSensitivity:
+    """Re-solved utility under scaled power thresholds (one extraction)."""
+
+    scales: list[float]
+    utility: list[float]
+    approx_utility: list[float]
+    selected: list[int]
+    extractions: int  # cold extractions actually paid across the sweep
+
+    def format(self) -> str:
+        lines = [f"{'scale':>8} {'utility':>10} {'approx':>10} {'selected':>9}"]
+        for s, u, a, k in zip(self.scales, self.utility, self.approx_utility, self.selected):
+            lines.append(f"{s:>8.2f} {u:>10.4f} {a:>10.4f} {k:>9d}")
+        lines.append(f"extractions paid: {self.extractions} / {len(self.scales)} solves")
+        return "\n".join(lines)
+
+
+def threshold_sensitivity(
+    scenario: Scenario,
+    scales: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5),
+    *,
+    eps: float = 0.15,
+    candidate_cache: CandidateSetCache | None = None,
+    **solve_kwargs,
+) -> ThresholdSensitivity:
+    """How the solved placement responds to scaled device thresholds.
+
+    Thresholds enter only the greedy's objective, never candidate
+    extraction, so every scale point warm-starts from one shared
+    :class:`~repro.core.reuse.CandidateSetCache` entry (the Fig. 13
+    question — "what if devices demand more power?" — answered at
+    selection-only cost per point).  Each solution is byte-identical to a
+    cold solve of the same scaled instance.
+    """
+    cache = (
+        candidate_cache
+        if candidate_cache is not None
+        else CandidateSetCache(max_entries=max(4, len(scales)))
+    )
+    utilities: list[float] = []
+    approx: list[float] = []
+    selected: list[int] = []
+    solutions: list[HIPOSolution] = []
+    for scale in scales:
+        devices = tuple(
+            replace(d, threshold=d.threshold * float(scale)) for d in scenario.devices
+        )
+        sol = solve_hipo(
+            scenario.with_devices(devices), eps=eps, candidate_cache=cache, **solve_kwargs
+        )
+        solutions.append(sol)
+        utilities.append(float(sol.utility))
+        approx.append(float(sol.approx_utility))
+        selected.append(len(sol.strategies))
+    return ThresholdSensitivity(
+        [float(s) for s in scales],
+        utilities,
+        approx,
+        selected,
+        extractions=int(cache.stats()["misses"]),
+    )

@@ -11,16 +11,19 @@ via ``REPRO_BENCH_REPEATS``.
 
 from __future__ import annotations
 
+import contextlib
 import os
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..baselines.registry import ALGORITHMS
+from ..core.placement import HIPOSolution, solve_hipo
+from ..core.reuse import CandidateSetCache, use_candidate_cache
 from ..model.network import Scenario
 from .reporting import SeriesTable
 
-__all__ = ["bench_repeats", "run_sweep", "DEFAULT_ALGORITHMS"]
+__all__ = ["bench_repeats", "budget_sweep", "run_sweep", "DEFAULT_ALGORITHMS"]
 
 #: Paper order of the nine compared algorithms.
 DEFAULT_ALGORITHMS: tuple[str, ...] = (
@@ -44,21 +47,37 @@ def bench_repeats(default: int = 3) -> int:
         return default
 
 
+#: Per-process ambient candidate cache for ``reuse_candidates`` sweeps.
+#: Process-global (not per-call) so pooled sweep workers reuse extractions
+#: across every cell they execute, exactly like the serial path does.
+_CELL_CACHE: CandidateSetCache | None = None
+
+
+def _cell_cache() -> CandidateSetCache:
+    global _CELL_CACHE
+    if _CELL_CACHE is None:
+        _CELL_CACHE = CandidateSetCache(max_entries=16, max_bytes=256 * 1024 * 1024)
+    return _CELL_CACHE
+
+
 def _run_cell(args) -> tuple[int, dict[str, float]]:
     """One (x, repeat) cell: build the topology, run every algorithm.
 
     Top-level so ProcessPoolExecutor can pickle it; *factory* must then be a
     module-level callable (the figure factories are).
     """
-    factory, x, seed, xi, r, algorithms = args
-    cell_seq = np.random.SeedSequence((seed, xi, r))
+    factory, x, seed, xi, r, algorithms, common_topologies, reuse_candidates = args
+    topo_key = (seed, r) if common_topologies else (seed, xi, r)
+    cell_seq = np.random.SeedSequence(topo_key)
     topo_rng = np.random.default_rng(cell_seq.spawn(1)[0])
     scenario = factory(x, topo_rng)
     out: dict[str, float] = {}
-    for ai, name in enumerate(algorithms):
-        algo_rng = np.random.default_rng(np.random.SeedSequence((seed, xi, r, ai)))
-        strategies = ALGORITHMS[name](scenario, algo_rng)
-        out[name] = scenario.utility_of(strategies)
+    scope = use_candidate_cache(_cell_cache()) if reuse_candidates else contextlib.nullcontext()
+    with scope:
+        for ai, name in enumerate(algorithms):
+            algo_rng = np.random.default_rng(np.random.SeedSequence((seed, xi, r, ai)))
+            strategies = ALGORITHMS[name](scenario, algo_rng)
+            out[name] = scenario.utility_of(strategies)
     return xi, out
 
 
@@ -71,6 +90,8 @@ def run_sweep(
     seed: int = 20180816,
     x_label: str = "x",
     workers: int | None = None,
+    common_topologies: bool = False,
+    reuse_candidates: bool = False,
 ) -> SeriesTable:
     """Average utility of each algorithm at each x over *repeats* topologies.
 
@@ -83,6 +104,16 @@ def run_sweep(
     from per-cell ``SeedSequence`` keys, not shared state), but the factory
     must be picklable (a module-level function; the built-in figure
     factories qualify, ad-hoc lambdas do not).
+
+    ``common_topologies=True`` seeds the topology per *repeat* instead of
+    per (x, repeat), so every x point of a repeat sees the **same** device
+    layout — the natural design when x only changes budgets or thresholds,
+    and the precondition for extraction reuse across x.
+    ``reuse_candidates=True`` additionally runs every cell under an ambient
+    :class:`~repro.core.reuse.CandidateSetCache` (per process), so HIPO
+    solves whose extraction slice repeats skip straight to selection.
+    Results are identical either way (warm starts are byte-identical);
+    only wall-clock changes.  Defaults reproduce the historical behaviour.
     """
     algorithms = tuple(algorithms)
     unknown = [a for a in algorithms if a not in ALGORITHMS]
@@ -91,7 +122,7 @@ def run_sweep(
     table = SeriesTable(x_label, list(xs))
     sums = {name: np.zeros(len(table.x)) for name in algorithms}
     cells = [
-        (scenario_factory, x, seed, xi, r, algorithms)
+        (scenario_factory, x, seed, xi, r, algorithms, common_topologies, reuse_candidates)
         for xi, x in enumerate(table.x)
         for r in range(repeats)
     ]
@@ -108,3 +139,41 @@ def run_sweep(
     for name in algorithms:
         table.add(name, (sums[name] / repeats).tolist())
     return table
+
+
+def budget_sweep(
+    scenario: Scenario,
+    budget_points: Sequence[Mapping[str, int]],
+    *,
+    eps: float = 0.15,
+    candidate_cache: CandidateSetCache | None = None,
+    **solve_kwargs,
+) -> list[HIPOSolution]:
+    """Solve one topology under many budget allocations, paying extraction once.
+
+    The workload the candidate-reuse tier exists for: every point shares the
+    scenario's extraction slice (budget *magnitudes* never enter it), so
+    after the first solve all later points are selection-only warm starts —
+    except points that *activate or deactivate* a charger type (budget
+    crossing zero changes which types are extracted, hence the key).
+
+    *candidate_cache* defaults to a fresh in-memory cache scoped to this
+    call; pass a persistent one (``directory=...``) to warm-start across
+    processes.  Extra keyword arguments go to
+    :func:`~repro.core.solve_hipo`.  Returns one solution per point, in
+    order; each is byte-identical to a cold solve of the same instance.
+    """
+    cache = (
+        candidate_cache
+        if candidate_cache is not None
+        else CandidateSetCache(max_entries=max(4, len(budget_points)))
+    )
+    return [
+        solve_hipo(
+            scenario.with_budgets(dict(budgets)),
+            eps=eps,
+            candidate_cache=cache,
+            **solve_kwargs,
+        )
+        for budgets in budget_points
+    ]

@@ -32,10 +32,14 @@ def point_on_segment(p: Sequence[float], a: Sequence[float], b: Sequence[float],
     """Whether *p* lies on the closed segment ``ab`` (within *tol*)."""
     ab = (b[0] - a[0], b[1] - a[1])
     ap = (p[0] - a[0], p[1] - a[1])
-    if abs(cross2(ab, ap)) > tol * max(1.0, abs(ab[0]) + abs(ab[1])):
+    # Both checks compare quantities linear in |ab| × displacement, so both
+    # scale tol by the segment size; a raw tol on the dot product would
+    # shrink the effective positional slack to tol/|ab| near the endpoints.
+    scaled = tol * max(1.0, abs(ab[0]) + abs(ab[1]))
+    if abs(cross2(ab, ap)) > scaled:
         return False
     t = ap[0] * ab[0] + ap[1] * ab[1]
-    return -tol <= t <= ab[0] * ab[0] + ab[1] * ab[1] + tol
+    return -scaled <= t <= ab[0] * ab[0] + ab[1] * ab[1] + scaled
 
 
 def segment_intersection(

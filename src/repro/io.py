@@ -40,6 +40,7 @@ from .model import (
 
 __all__ = [
     "canonical_json",
+    "canonical_extraction_hash",
     "canonical_scenario_hash",
     "scenario_to_dict",
     "scenario_from_dict",
@@ -104,6 +105,52 @@ def canonical_scenario_hash(scenario: Scenario | dict, params: dict | None = Non
     data = scenario_to_dict(scenario) if isinstance(scenario, Scenario) else dict(scenario)
     data.pop("strategies", None)
     payload = {"scenario": data, "params": params or {}}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def canonical_extraction_hash(
+    scenario: Scenario | dict, *, eps: float, params: dict | None = None
+) -> str:
+    """Content address of the *extraction-relevant* slice of a solve.
+
+    Candidate extraction (positions + PDCS sweeps, Algorithms 1/4) is a pure
+    function of the geometry (bounds, devices, obstacles), the hardware
+    tables (charger/device types, power coefficients), the approximation
+    parameter ``eps`` — and of *which* charger types are active (budget > 0;
+    zero-budget types are skipped entirely).  It does **not** depend on
+
+    * budget magnitudes (they only bound the matroid the greedy runs under),
+    * device power thresholds (they only shape the selection objective), or
+    * selection flags (``lazy``, ``refine``, ``algorithm3_order``, ...).
+
+    Those are therefore excluded, so a budget or threshold sweep over one
+    topology maps every point to the same key — the contract behind the
+    candidate-reuse tier (:mod:`repro.core.reuse`).  *params* carries any
+    extra extraction-affecting knobs (e.g. a generator's ``max_positions``).
+    """
+    data = scenario_to_dict(scenario) if isinstance(scenario, Scenario) else dict(scenario)
+    devices = [
+        {
+            "position": _field(d, "position", f"devices[{i}]"),
+            "orientation": _field(d, "orientation", f"devices[{i}]"),
+            "type": _field(d, "type", f"devices[{i}]"),
+        }
+        for i, d in enumerate(data.get("devices", []))
+    ]
+    budgets = data.get("budgets", {})
+    payload = {
+        "slice": {
+            "bounds": data.get("bounds"),
+            "charger_types": data.get("charger_types"),
+            "device_types": data.get("device_types"),
+            "coefficients": data.get("coefficients"),
+            "devices": devices,
+            "obstacles": data.get("obstacles"),
+            "active_types": sorted(name for name, n in budgets.items() if int(n) > 0),
+        },
+        "eps": eps,
+        "params": params or {},
+    }
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 

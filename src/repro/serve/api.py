@@ -39,12 +39,21 @@ Scenarios are validated with :func:`repro.model.validate_scenario` before
 queueing, so ill-posed instances fail fast with a 400 naming the issues
 instead of burning a worker.
 
-Results are content-addressed: the cache key is
-:func:`repro.io.canonical_scenario_hash` over the scenario plus the
-result-affecting params (``workers`` is excluded — worker count changes
-wall-clock, never the placement).  A cache hit is served synchronously as an
-already-``done`` job whose trace holds a ``cache.lookup`` span and **no**
-``solve`` span, and whose result bytes are identical to the original solve's.
+Results are content-addressed across **two cache tiers** (docs/serving.md
+has the full story):
+
+* **Full tier** — key :func:`repro.io.canonical_scenario_hash` over the
+  scenario plus the result-affecting params (``workers`` is excluded —
+  worker count changes wall-clock, never the placement).  A hit is served
+  synchronously as an already-``done`` job (``cache_tier: "full"``) whose
+  trace holds a ``cache.lookup`` span and **no** ``solve`` span, and whose
+  result bytes are identical to the original solve's.
+* **Candidate tier** — key :func:`repro.io.canonical_extraction_hash` over
+  the extraction-relevant slice only (budgets/thresholds/greedy flags
+  excluded).  A hit skips extraction and re-runs just the millisecond
+  greedy selection, synchronously (``200``, ``cache_tier: "candidates"``):
+  the sweep-shaped case of "same room, different budget".  Queued cold
+  solves populate the tier and are tagged too when they land on it.
 """
 
 from __future__ import annotations
@@ -57,7 +66,8 @@ from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from ..core import solve_hipo
+from ..core import CandidateSetCache, solve_hipo
+from ..core.reuse import extraction_cache_key
 from ..io import canonical_scenario_hash, scenario_from_dict
 from ..model import validate_scenario
 from ..obs import MetricsRegistry, Tracer
@@ -132,17 +142,27 @@ class SolveService:
         queue_size: int = 64,
         cache_entries: int = 256,
         cache_bytes: int = 64 * 1024 * 1024,
+        candidate_cache_entries: int = 64,
+        candidate_cache_bytes: int = 128 * 1024 * 1024,
+        candidate_cache_dir: str | None = None,
         default_timeout_s: float | None = None,
         validate_default: bool = True,
     ) -> None:
         self.metrics = MetricsRegistry()
         #: One lock per registry: the registry is not thread-safe, and the
-        #: cache and pool record onto the same instance, so they must share
-        #: this lock (three separate locks would guard nothing).
+        #: caches and pool record onto the same instance, so they must share
+        #: this lock (separate locks would guard nothing).
         self._metrics_lock = threading.Lock()
         self.queue = JobQueue(queue_size)
         self.cache = SolveCache(
             cache_entries, cache_bytes, metrics=self.metrics, lock=self._metrics_lock
+        )
+        self.candidate_cache = CandidateSetCache(
+            candidate_cache_entries,
+            candidate_cache_bytes,
+            directory=candidate_cache_dir,
+            metrics=self.metrics,
+            lock=self._metrics_lock,
         )
         self.pool = SolverPool(
             self.queue,
@@ -221,6 +241,11 @@ class SolveService:
             hit = self.cache.get(key)
             if hit is not None:
                 return self._cached_job(key, hit, priority), True
+            # Candidate tier: same extraction slice seen before (e.g. same
+            # geometry, different budgets) → skip the queue and run the
+            # millisecond selection-only solve right here.
+            if extraction_cache_key(scenario, eps=params.get("eps", 0.15)) in self.candidate_cache:
+                return self._candidate_tier_job(key, scenario, params, priority), True
 
         job = self.queue.submit(
             {"scenario": scenario_data, "params": params, "use_cache": use_cache},
@@ -253,18 +278,62 @@ class SolveService:
             state=JobState.DONE,
             result=payload,
             cached=True,
+            cache_tier="full",
+            trace=[sp.to_dict() for sp in sorted(tracer.spans, key=lambda s: s.start_s)],
+        )
+        self.queue.add_finished(job)
+        return job
+
+    def _candidate_tier_job(
+        self, key: str, scenario: Any, params: dict[str, Any], priority: int
+    ) -> Job:
+        """Serve a candidate-tier hit synchronously: extraction comes from
+        :attr:`candidate_cache`, only the greedy selection runs (~ms), and
+        the finished job is registered like a cache hit (``cache_tier:
+        "candidates"``).  Should the cached extraction get evicted between
+        the membership check and the solve, the solve silently falls back to
+        a cold extraction — slower, still correct."""
+        tracer = Tracer()
+        job_metrics = MetricsRegistry()
+        now = time.monotonic()
+        solution = self._solve(scenario, params, tracer, job_metrics, cancel=None)
+        payload = self._solution_payload(key, scenario, params, solution)
+        self.cache.put(key, payload)
+        with self._metrics_lock:
+            self.metrics.merge(job_metrics)
+            self.metrics.inc("serve.jobs.candidate_tier")
+        job = Job(
+            id=uuid.uuid4().hex[:16],
+            request={},
+            priority=priority,
+            cache_key=key,
+            submitted_s=now,
+            started_s=now,
+            finished_s=time.monotonic(),
+            state=JobState.DONE,
+            result=payload,
+            cached=False,
+            cache_tier="candidates",
             trace=[sp.to_dict() for sp in sorted(tracer.spans, key=lambda s: s.start_s)],
         )
         self.queue.add_finished(job)
         return job
 
     # -- job execution (runs on pool worker threads) ---------------------
-    def _run_job(self, job: Job, tracer: Tracer) -> dict[str, Any]:
-        request = job.request
-        params = request["params"]
-        scenario, _ = scenario_from_dict(request["scenario"])
-        job_metrics = MetricsRegistry()
-        solution = solve_hipo(
+    def _solve(
+        self,
+        scenario: Any,
+        params: dict[str, Any],
+        tracer: Tracer,
+        job_metrics: MetricsRegistry,
+        *,
+        cancel: Any,
+        use_candidate_cache: bool = True,
+    ) -> Any:
+        """One :func:`repro.core.solve_hipo` call with the service's
+        candidate cache attached (both the queued and the synchronous
+        candidate-tier paths run through here)."""
+        return solve_hipo(
             scenario,
             eps=params.get("eps", 0.15),
             workers=params.get("workers", 1),
@@ -272,12 +341,19 @@ class SolveService:
             refine=params.get("refine", False),
             algorithm3_order=params.get("algorithm3_order", False),
             objective_power=params.get("objective_power", "approx"),
+            candidate_cache=self.candidate_cache if use_candidate_cache else None,
             tracer=tracer,
             metrics=job_metrics,
-            cancel=job.cancel,
+            cancel=cancel,
         )
-        payload = {
-            "scenario_hash": job.cache_key,
+
+    @staticmethod
+    def _solution_payload(
+        key: str | None, scenario: Any, params: dict[str, Any], solution: Any
+    ) -> dict[str, Any]:
+        """The cacheable result body (identical bytes however produced)."""
+        return {
+            "scenario_hash": key,
             "num_devices": scenario.num_devices,
             "num_chargers": scenario.num_chargers,
             "utility": solution.utility,
@@ -292,7 +368,25 @@ class SolveService:
             ],
             "params": {k: params[k] for k in sorted(params) if k != "workers"},
         }
-        if request.get("use_cache", True):
+
+    def _run_job(self, job: Job, tracer: Tracer) -> dict[str, Any]:
+        request = job.request
+        params = request["params"]
+        use_cache = request.get("use_cache", True)
+        scenario, _ = scenario_from_dict(request["scenario"])
+        job_metrics = MetricsRegistry()
+        solution = self._solve(
+            scenario,
+            params,
+            tracer,
+            job_metrics,
+            cancel=job.cancel,
+            use_candidate_cache=use_cache,
+        )
+        if any(sp.attrs.get("cached") for sp in tracer.find_all("extraction")):
+            job.cache_tier = "candidates"
+        payload = self._solution_payload(job.cache_key, scenario, params, solution)
+        if use_cache:
             self.cache.put(job.cache_key, payload)
         with self._metrics_lock:
             self.metrics.merge(job_metrics)
@@ -330,6 +424,7 @@ class SolveService:
                 "states": self.queue.counts(),
             },
             "cache": self.cache.stats(),
+            "candidate_cache": self.candidate_cache.stats(),
             "uptime_s": round(time.monotonic() - self.started_monotonic, 3),
         }
 
@@ -486,6 +581,9 @@ def run_server(
     queue_size: int = 64,
     cache_entries: int = 256,
     cache_bytes: int = 64 * 1024 * 1024,
+    candidate_cache_entries: int = 64,
+    candidate_cache_bytes: int = 128 * 1024 * 1024,
+    candidate_cache_dir: str | None = None,
     default_timeout_s: float | None = None,
     verbose: bool = True,
 ) -> int:
@@ -508,6 +606,9 @@ def run_server(
         queue_size=queue_size,
         cache_entries=cache_entries,
         cache_bytes=cache_bytes,
+        candidate_cache_entries=candidate_cache_entries,
+        candidate_cache_bytes=candidate_cache_bytes,
+        candidate_cache_dir=candidate_cache_dir,
         default_timeout_s=default_timeout_s,
     ).start()
     server = create_server(service, host, port, verbose=verbose)

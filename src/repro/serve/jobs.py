@@ -87,6 +87,12 @@ class Job:
     result: dict[str, Any] | None = None  # payload for ``done`` jobs
     error: str | None = None  # message for ``failed`` jobs
     cached: bool = False
+    #: Which cache tier served the job: ``"full"`` (solution bytes replayed),
+    #: ``"candidates"`` (extraction skipped, selection re-run) or ``None``
+    #: (cold solve).  Deliberately *not* part of ``result`` — the full tier
+    #: replays stored result bytes verbatim, so a tier tag inside them would
+    #: go stale; the tag describes this serving, not the original solve.
+    cache_tier: str | None = None
     trace: list[dict[str, Any]] = field(default_factory=list)  # repro.trace/v1 span dicts
     cancel: threading.Event = field(default_factory=threading.Event)
 
@@ -111,6 +117,8 @@ class Job:
             "cached": self.cached,
             "timeout_s": self.timeout_s,
         }
+        if self.cache_tier is not None:
+            out["cache_tier"] = self.cache_tier
         if self.started_s is not None and self.finished_s is not None:
             out["run_seconds"] = round(self.finished_s - self.started_s, 6)
         if self.state == JobState.DONE:

@@ -9,7 +9,7 @@ utilities.
 import numpy as np
 import pytest
 
-from repro.core import build_candidate_set, solve_hipo
+from repro.core import CandidateGenerator, build_candidate_set, solve_hipo
 from repro.geometry import rectangle
 
 from conftest import simple_scenario
@@ -90,6 +90,41 @@ def test_timings_populated():
     assert t.num_positions == sum(sol.candidate_set.positions_per_type.values())
     assert t.extraction_seconds >= 0.0 and t.selection_seconds >= 0.0
     assert "workers=1" in t.format()
+
+
+@pytest.mark.parametrize("max_positions", [None, 25])
+def test_custom_generator_parallel_matches_serial(max_positions):
+    """A plain generator with non-default approximation parameters must pool
+    identically to the serial path: the pool ships ``eps`` and
+    ``max_positions``, and the position cap is applied by the parent after
+    gathering (the regression this guards: phase 2 used to rebuild workers
+    from defaults, and phase 1 never pooled custom generators at all)."""
+    sc = scenario_with_obstacles()
+    gen = CandidateGenerator(sc, eps=0.3, max_positions=max_positions)
+    serial = build_candidate_set(sc, generator=gen, workers=1)
+    pooled = build_candidate_set(sc, generator=gen, workers=2)
+    assert_candidate_sets_identical(serial, pooled)
+
+
+class _EveryOtherPositionGenerator(CandidateGenerator):
+    """A subclass the pool cannot reproduce (overridden position logic)."""
+
+    def positions(self, ctype):
+        return super().positions(ctype)[::2]
+
+
+def test_subclassed_generator_falls_back_in_process():
+    """Generator subclasses must not be silently replaced by stock workers:
+    both pooled phases fall back to the in-process path, so ``workers=2``
+    equals the serial run even for exotic extractors."""
+    sc = scenario_no_obstacles()
+    gen = _EveryOtherPositionGenerator(sc, eps=0.2)
+    serial = build_candidate_set(sc, generator=gen, workers=1)
+    pooled = build_candidate_set(sc, generator=gen, workers=2)
+    assert_candidate_sets_identical(serial, pooled)
+    # And the subclass genuinely changed extraction vs the stock generator.
+    stock = build_candidate_set(sc, generator=CandidateGenerator(sc, eps=0.2))
+    assert stock.num_candidates != serial.num_candidates
 
 
 def test_positions_by_type_override_with_workers():

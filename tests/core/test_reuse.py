@@ -1,0 +1,254 @@
+"""Candidate-set reuse: codec stability, cache bounds, key semantics,
+and the headline guarantee — warm-started solves are byte-identical to
+cold ones."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CandidateSetCache,
+    active_candidate_cache,
+    build_candidate_set,
+    deserialize_candidate_set,
+    extraction_cache_key,
+    serialize_candidate_set,
+    solve_hipo,
+    use_candidate_cache,
+)
+from repro.core.candidates import CandidateGenerator
+from repro.core.reuse import CANDIDATE_BLOB_MAGIC
+from repro.io import strategies_to_list
+from repro.model import ChargerType
+from repro.obs import MetricsRegistry
+
+from conftest import simple_scenario
+
+
+def scenario():
+    return simple_scenario(
+        [(4.0, 4.0), (8.0, 6.0), (12.0, 10.0), (16.0, 14.0), (6.0, 12.0)], budget=2
+    )
+
+
+def fingerprint(sol):
+    """Everything a caller reads off a solution, as canonical bytes."""
+    return json.dumps(
+        {
+            "utility": sol.utility,
+            "approx_utility": sol.approx_utility,
+            "strategies": strategies_to_list(sol.strategies),
+            "greedy": list(sol.greedy.indices),
+        },
+        sort_keys=True,
+    )
+
+
+def assert_candidate_sets_identical(a, b):
+    assert a.num_candidates == b.num_candidates
+    assert a.part_of == b.part_of
+    assert a.capacities == b.capacities
+    assert a.positions_per_type == b.positions_per_type
+    assert np.array_equal(a.approx_power, b.approx_power)
+    assert np.array_equal(a.exact_power, b.exact_power)
+    assert [(s.position, s.orientation, s.ctype.name) for s in a.strategies] == [
+        (s.position, s.orientation, s.ctype.name) for s in b.strategies
+    ]
+
+
+# -- codec ----------------------------------------------------------------
+
+
+def test_serialize_is_byte_stable_and_round_trips():
+    sc = scenario()
+    cs = build_candidate_set(sc)
+    blob = serialize_candidate_set(cs)
+    assert blob.startswith(CANDIDATE_BLOB_MAGIC)
+    # Byte stability: re-serializing the same (or a freshly rebuilt) set
+    # yields the same bytes — the content-addressed cache's core property.
+    assert serialize_candidate_set(cs) == blob
+    assert serialize_candidate_set(build_candidate_set(sc)) == blob
+    assert_candidate_sets_identical(deserialize_candidate_set(blob), cs)
+
+
+def test_deserialize_rebinds_to_scenario():
+    sc = scenario()
+    blob = serialize_candidate_set(build_candidate_set(sc))
+    doubled = sc.with_budgets({"ct": 4})
+    cs = deserialize_candidate_set(blob, doubled)
+    # Strategies point at the requesting scenario's own ChargerType objects,
+    # and capacities follow its current budgets (not the stored ones).
+    assert all(s.ctype is doubled.charger_types[0] for s in cs.strategies)
+    assert cs.capacities == [4]
+
+
+def test_deserialize_rejects_garbage_and_unknown_types():
+    with pytest.raises(ValueError, match="bad magic"):
+        deserialize_candidate_set(b"not a blob")
+    sc = scenario()
+    blob = serialize_candidate_set(build_candidate_set(sc))
+    ct = sc.charger_types[0]
+    renamed = sc.with_charger_types(
+        [ChargerType("other", ct.charging_angle, ct.dmin, ct.dmax)], {"other": 2}
+    )
+    with pytest.raises(ValueError, match="unknown charger type"):
+        deserialize_candidate_set(blob, renamed)
+
+
+# -- cache bounds + persistence ------------------------------------------
+
+
+def test_lru_eviction_and_counters():
+    metrics = MetricsRegistry()
+    cache = CandidateSetCache(max_entries=2, metrics=metrics)
+    blob = CANDIDATE_BLOB_MAGIC + b"x" * 10
+    for key in ("a", "b", "c"):
+        assert cache.put_bytes(key, blob)
+    assert len(cache) == 2
+    assert cache.get_bytes("a") is None  # least-recently-used got evicted
+    assert cache.get_bytes("c") == blob
+    stats = cache.stats()
+    assert stats["evictions"] == 1 and stats["misses"] == 1 and stats["hits"] == 1
+    cache.clear()
+    assert len(cache) == 0 and cache.size_bytes == 0
+
+
+def test_bytes_bound_and_oversize():
+    cache = CandidateSetCache(max_entries=10, max_bytes=100)
+    small = CANDIDATE_BLOB_MAGIC + b"s" * 10  # 30 bytes
+    assert cache.put_bytes("a", small)
+    assert cache.put_bytes("b", small)
+    assert cache.put_bytes("c", small)
+    # 3 x 30 = 90 <= 100; a fourth forces an eviction to stay under budget.
+    assert cache.put_bytes("d", small)
+    assert cache.size_bytes <= 100
+    assert cache.get_bytes("a") is None
+    # A blob larger than the whole budget is refused outright.
+    assert not cache.put_bytes("huge", b"h" * 200)
+    assert "huge" not in cache
+    with pytest.raises(ValueError):
+        CandidateSetCache(max_entries=0)
+    with pytest.raises(ValueError):
+        CandidateSetCache(max_bytes=0)
+
+
+def test_disk_persistence_across_instances(tmp_path):
+    sc = scenario()
+    key = extraction_cache_key(sc)
+    first = CandidateSetCache(directory=tmp_path)
+    first.put(key, build_candidate_set(sc))
+    assert list(tmp_path.glob("*.candidates"))
+
+    metrics = MetricsRegistry()
+    reborn = CandidateSetCache(directory=tmp_path, metrics=metrics)
+    assert key in reborn  # disk probe, not memory
+    assert len(reborn) == 0
+    got = reborn.get(key, sc)
+    assert got is not None
+    assert_candidate_sets_identical(got, build_candidate_set(sc))
+    assert metrics.counter("cache.candidates.disk_loads") == 1
+    assert len(reborn) == 1  # re-promoted to the memory tier
+    assert reborn.stats()["persistent"] is True
+
+
+def test_shared_external_lock():
+    lock = threading.Lock()
+    cache = CandidateSetCache(metrics=MetricsRegistry(), lock=lock)
+    blob = CANDIDATE_BLOB_MAGIC + b"z"
+    cache.put_bytes("k", blob)
+    assert cache.get_bytes("k") == blob
+    assert not lock.locked()  # released on every path
+
+
+# -- key semantics --------------------------------------------------------
+
+
+def test_key_invariant_to_budgets_and_thresholds():
+    sc = scenario()
+    key = extraction_cache_key(sc)
+    assert extraction_cache_key(sc.with_budgets({"ct": 7})) == key
+    assert extraction_cache_key(sc.with_thresholds({"dt": 2.5})) == key
+
+
+def test_key_sensitive_to_geometry_eps_and_active_types():
+    sc = scenario()
+    key = extraction_cache_key(sc)
+    moved = simple_scenario(
+        [(4.5, 4.0), (8.0, 6.0), (12.0, 10.0), (16.0, 14.0), (6.0, 12.0)], budget=2
+    )
+    assert extraction_cache_key(moved) != key
+    assert extraction_cache_key(sc, eps=0.2) != key
+    # A zero budget removes the type from extraction entirely.
+    assert extraction_cache_key(sc.with_budgets({"ct": 0})) != key
+
+
+def test_key_folds_in_generator_parameters():
+    sc = scenario()
+    key = extraction_cache_key(sc)
+    assert extraction_cache_key(sc, generator=CandidateGenerator(sc, eps=0.15)) == key
+    assert extraction_cache_key(sc, generator=CandidateGenerator(sc, eps=0.3)) != key
+    assert (
+        extraction_cache_key(sc, generator=CandidateGenerator(sc, eps=0.15, max_positions=9))
+        != key
+    )
+
+    class Exotic(CandidateGenerator):
+        pass
+
+    assert extraction_cache_key(sc, generator=Exotic(sc, eps=0.15)) != key
+
+
+# -- warm-start guarantee -------------------------------------------------
+
+
+def test_warm_start_solve_is_byte_identical():
+    sc = scenario()
+    cache = CandidateSetCache()
+    cold = solve_hipo(sc, candidate_cache=cache)  # miss: pays extraction
+    warm = solve_hipo(sc, candidate_cache=cache)  # hit: selection only
+    assert fingerprint(warm) == fingerprint(cold)
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+    # Different budgets share the extraction but re-run selection.
+    swept = solve_hipo(sc.with_budgets({"ct": 3}), candidate_cache=cache)
+    assert cache.stats()["hits"] == 2
+    assert fingerprint(swept) == fingerprint(solve_hipo(sc.with_budgets({"ct": 3})))
+
+
+def test_warm_start_marks_extraction_span_cached():
+    sc = scenario()
+    cache = CandidateSetCache()
+    solve_hipo(sc, candidate_cache=cache)
+    warm = solve_hipo(sc, candidate_cache=cache, keep_candidates=True)
+    span = warm.trace.find("extraction")
+    assert span is not None and span.attrs.get("cached") is True
+    assert warm.candidate_set.num_candidates > 0
+
+
+def test_ambient_cache_via_context_manager():
+    sc = scenario()
+    assert active_candidate_cache() is None
+    cache = CandidateSetCache()
+    with use_candidate_cache(cache) as active:
+        assert active_candidate_cache() is active is cache
+        solve_hipo(sc)
+        solve_hipo(sc)
+    assert active_candidate_cache() is None
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1
+    # Outside the block solve_hipo no longer consults it.
+    solve_hipo(sc)
+    assert cache.stats()["hits"] == 1
+
+
+def test_explicit_positions_bypass_cache():
+    sc = scenario()
+    cache = CandidateSetCache()
+    rng = np.random.default_rng(0)
+    override = {"ct": rng.uniform(0.0, 20.0, size=(10, 2))}
+    solve_hipo(sc, positions_by_type=override, candidate_cache=cache)
+    stats = cache.stats()
+    assert len(cache) == 0 and stats["misses"] == 0 and stats["hits"] == 0

@@ -78,3 +78,34 @@ def test_empty_placement(rng):
     curve = placement_robustness(sc, [], rng, sigmas=(0.5,), trials=3)
     assert curve.nominal_utility == 0.0
     assert curve.retention() == [0.0]
+
+
+def test_threshold_sensitivity_single_extraction():
+    from repro.experiments import threshold_sensitivity
+
+    sc = simple_scenario([(4.0, 4.0), (9.0, 7.0), (14.0, 12.0)], budget=2)
+    result = threshold_sensitivity(sc, scales=(0.5, 1.0, 1.5))
+    assert result.scales == [0.5, 1.0, 1.5]
+    assert len(result.utility) == len(result.approx_utility) == len(result.selected) == 3
+    # Thresholds never enter extraction: the whole sweep pays it once.
+    assert result.extractions == 1
+    assert "extractions paid: 1 / 3 solves" in result.format()
+
+
+def test_threshold_sensitivity_matches_cold_solves():
+    import json
+    from dataclasses import replace as dc_replace
+
+    from repro.core import solve_hipo
+    from repro.experiments import threshold_sensitivity
+    from repro.io import strategies_to_list
+
+    sc = simple_scenario([(4.0, 4.0), (9.0, 7.0), (14.0, 12.0)], budget=2)
+    scales = (0.5, 1.5)
+    result = threshold_sensitivity(sc, scales=scales)
+    for i, scale in enumerate(scales):
+        devices = tuple(dc_replace(d, threshold=d.threshold * scale) for d in sc.devices)
+        cold = solve_hipo(sc.with_devices(devices))
+        assert result.utility[i] == cold.utility
+        assert result.approx_utility[i] == cold.approx_utility
+        assert result.selected[i] == len(cold.strategies)

@@ -73,3 +73,83 @@ def test_run_sweep_parallel_matches_serial():
         workers=2,
     )
     assert serial.series == parallel.series
+
+
+def test_run_sweep_reuse_candidates_identical():
+    """Warm-started sweeps return the exact same table as cold ones."""
+    kwargs = dict(algorithms=["HIPO", "RPAR"], repeats=2, seed=9)
+    cold = run_sweep([1, 2], tiny_factory, **kwargs)
+    warm = run_sweep([1, 2], tiny_factory, reuse_candidates=True, **kwargs)
+    assert cold.series == warm.series
+
+
+_seen_topologies = []
+
+
+def _recording_factory(x, rng):
+    """tiny_factory that records each cell's device layout (serial runs only)."""
+    pts = rng.uniform(2.0, 18.0, size=(3, 2))
+    _seen_topologies.append(pts)
+    return simple_scenario([tuple(p) for p in pts], budget=int(x))
+
+
+def test_run_sweep_common_topologies():
+    """Per-repeat topology seeding is deterministic, differs from the
+    per-cell default, and composes with candidate reuse unchanged."""
+    kwargs = dict(algorithms=["HIPO"], repeats=1, seed=11)
+    _seen_topologies.clear()
+    run_sweep([1, 2], _recording_factory, **kwargs)
+    a, b = _seen_topologies
+    assert not np.array_equal(a, b)  # default: fresh topology per (x, repeat)
+
+    _seen_topologies.clear()
+    common = run_sweep([1, 2], _recording_factory, common_topologies=True, **kwargs)
+    a, b = _seen_topologies
+    assert np.array_equal(a, b)  # per-repeat seeding: every x, same layout
+    again = run_sweep([1, 2], _recording_factory, common_topologies=True, **kwargs)
+    assert common.series == again.series
+    reused = run_sweep(
+        [1, 2], _recording_factory, common_topologies=True, reuse_candidates=True, **kwargs
+    )
+    assert reused.series == common.series
+
+
+def test_run_sweep_reuse_candidates_pooled_matches_serial():
+    from repro.experiments.figures import _charger_multiple_factory
+
+    kwargs = dict(
+        algorithms=["HIPO"],
+        repeats=1,
+        seed=5,
+        common_topologies=True,
+        reuse_candidates=True,
+    )
+    serial = run_sweep([1], _charger_multiple_factory, **kwargs)
+    pooled = run_sweep([1], _charger_multiple_factory, workers=2, **kwargs)
+    assert serial.series == pooled.series
+
+
+def test_budget_sweep_matches_cold_solves():
+    import json
+
+    from repro.core import CandidateSetCache, solve_hipo
+    from repro.experiments import budget_sweep
+    from repro.io import strategies_to_list
+
+    sc = simple_scenario([(4.0, 4.0), (9.0, 7.0), (14.0, 12.0)], budget=1)
+    points = [{"ct": 1}, {"ct": 2}, {"ct": 3}]
+    cache = CandidateSetCache()
+    warm = budget_sweep(sc, points, candidate_cache=cache)
+    assert len(warm) == 3
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == len(points) - 1
+
+    for sol, budgets in zip(warm, points):
+        cold = solve_hipo(sc.with_budgets(budgets))
+        assert json.dumps(
+            {"u": sol.utility, "s": strategies_to_list(sol.strategies)}, sort_keys=True
+        ) == json.dumps(
+            {"u": cold.utility, "s": strategies_to_list(cold.strategies)}, sort_keys=True
+        )
+    # Utility is monotone in budget on one topology (more chargers never hurt).
+    assert warm[0].utility <= warm[1].utility + 1e-12 <= warm[2].utility + 2e-12

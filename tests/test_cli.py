@@ -168,3 +168,56 @@ def test_serve_parser_defaults():
     args = build_parser().parse_args(["serve"])
     assert args.port == 8080 and args.pool_size == 2
     assert args.queue_size == 64 and args.cache_size == 256
+
+
+def test_solve_budget_sweep(capsys):
+    rc = main(
+        [
+            "solve",
+            "--seed",
+            "3",
+            "--devices",
+            "1",
+            "--chargers",
+            "1",
+            "--budget-sweep",
+            "1,2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "budget sweep over multipliers [1, 2]" in out
+    assert "extractions paid: 1, warm starts: 1" in out
+
+
+def test_solve_budget_sweep_rejects_bad_input(capsys):
+    base = ["solve", "--seed", "3", "--devices", "1", "--chargers", "1"]
+    assert main(base + ["--budget-sweep", "nope"]) == 2
+    assert "comma-separated integers" in capsys.readouterr().out
+    assert main(base + ["--budget-sweep", "0,-1"]) == 2
+    assert "positive multipliers" in capsys.readouterr().out
+
+
+def test_solve_candidate_cache_dir_persists(capsys, tmp_path):
+    cache_dir = tmp_path / "cands"
+    base = [
+        "solve",
+        "--seed",
+        "3",
+        "--devices",
+        "1",
+        "--chargers",
+        "1",
+        "--candidate-cache",
+        str(cache_dir),
+    ]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    blobs = list(cache_dir.glob("*.candidates"))
+    assert len(blobs) == 1  # extraction persisted for future runs
+
+    # A second process-equivalent run warm-starts from disk, same answer.
+    assert main(base) == 0
+    second = capsys.readouterr().out
+    assert first.splitlines()[:1] == second.splitlines()[:1]
+    assert list(cache_dir.glob("*.candidates")) == blobs
