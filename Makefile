@@ -1,6 +1,6 @@
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint typecheck bench-smoke bench-scaling bench-cache serve serve-smoke ci
+.PHONY: test lint typecheck bench-smoke bench-scaling bench-cache bench-backends serve serve-smoke ci
 
 test:
 	$(PYTHONPATH_PREFIX) python -m pytest -x -q
@@ -25,6 +25,9 @@ bench-scaling:
 
 bench-cache:
 	$(PYTHONPATH_PREFIX) python benchmarks/bench_cache_reuse.py --smoke --out /tmp/bench_cache_smoke.json
+
+bench-backends:
+	$(PYTHONPATH_PREFIX) python benchmarks/bench_backends.py --chunk-sweep
 
 ci:
 	sh scripts/ci.sh

@@ -8,7 +8,11 @@
 # present, root span covers child spans), and a serve smoke run: boot
 # `repro serve`, health-check it over HTTP, verify a cached solve
 # round-trip (second POST must be served from cache, byte-identical),
-# then shut it down cleanly via SIGTERM.
+# then shut it down cleanly via SIGTERM.  Compute backends: tier-1 is
+# pinned to the numpy reference backend; the cross-backend equivalence
+# suite re-runs on numba when that accelerator is importable, and the
+# backends smoke bench asserts cold solves are byte-identical across
+# whatever backends load on this machine.
 #
 # Static gates run first (fail fast, cheapest signals): the project
 # analyzer (docs/static-analysis.md) over src/repro, then the
@@ -21,7 +25,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m repro.analysis src/repro
 sh scripts/typecheck.sh
 
-python -m pytest -x -q
+# Tier-1 runs pinned to the numpy reference backend so the gate is
+# deterministic regardless of which accelerators this machine has; the
+# backend-equivalence suite is then repeated on the compiled backend when
+# numba is importable (skipped silently otherwise).
+REPRO_BACKEND=numpy python -m pytest -x -q
+
+if python -c "import numba" 2>/dev/null; then
+    echo "numba importable: repeating backend equivalence on the compiled backend"
+    REPRO_BACKEND=numba python -m pytest tests/backend -x -q
+fi
 
 SMOKE_OUT="${TMPDIR:-/tmp}/bench_extraction_smoke.json"
 python benchmarks/bench_extraction_scaling.py --smoke --out "$SMOKE_OUT"
@@ -43,6 +56,17 @@ assert doc['byte_identical'] is True, doc
 assert doc['warm']['cache']['hits'] >= doc['sweep']['points'], doc['warm']
 print('cache-reuse smoke bench ok (warm byte-identical)')
 " "$CACHE_OUT"
+
+BACKENDS_OUT="${TMPDIR:-/tmp}/bench_backends_smoke.json"
+python benchmarks/bench_backends.py --smoke --chunk-sweep --out "$BACKENDS_OUT"
+python -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['meta']['schema'] == 'repro.bench/v1', doc.get('meta')
+assert doc['cold_solve']['byte_identical'] is True, doc['cold_solve']
+assert doc['meta']['backend']['active'] in doc['backends']['tested'], doc['meta']['backend']
+print('backends smoke bench ok (cold solves byte-identical, backend stamped)')
+" "$BACKENDS_OUT"
 
 TRACE_OUT="${TMPDIR:-/tmp}/repro_trace_smoke.jsonl"
 python -m repro solve --seed 3 --devices 1 --chargers 1 --workers 2 \

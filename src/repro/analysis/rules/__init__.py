@@ -9,6 +9,7 @@ output is stable.
 from __future__ import annotations
 
 from ..engine import Rule
+from .backend import LazyAcceleratorImportRule
 from .concurrency import CancelPollRule, LockGuardRule, LockHazardRule
 from .determinism import SetIterationRule, UnseededRandomRule, WallClockRule
 from .hygiene import FloatEqualityRule, PicklableTaskRule, SpanContextRule
@@ -17,6 +18,7 @@ from .typing_rules import AnnotationsRequiredRule, BareGenericRule
 __all__ = ["default_rules"]
 
 _RULE_CLASSES: tuple[type[Rule], ...] = (
+    LazyAcceleratorImportRule,  # BKD701
     UnseededRandomRule,      # DET101
     WallClockRule,           # DET102
     SetIterationRule,        # DET103

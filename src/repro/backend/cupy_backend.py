@@ -1,0 +1,65 @@
+"""CuPy backend registration stub — the hook for a future GPU path.
+
+Registered so ``repro solve --backend cupy`` and ``backend_status()`` know
+the name, but never auto-selected (``selectable = False``) and
+:meth:`load` refuses until real device kernels exist: a GPU port must
+prove bit-identical masks/powers against the numpy oracle (the
+``tests/backend`` equivalence suite) before it may claim the name.
+
+Implementation sketch for whoever picks this up: keep orchestration
+(bbox prefilter, chunking, dedupe) host-side exactly as the other
+backends do; implement the four :class:`~repro.backend.KernelBackend`
+kernels as CuPy RawKernels or fused elementwise ops; import ``cupy``
+only inside :meth:`load` (rule BKD701); and be careful that
+``a / (d + b) ** 2`` on device matches numpy's multiply-based integer
+power path bit-for-bit before enabling ``selectable``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import BackendUnavailable, KernelBackend, _module_importable
+
+__all__ = ["CuPyBackend"]
+
+
+class CuPyBackend(KernelBackend):
+    """Placeholder: reports availability, refuses to load."""
+
+    name = "cupy"
+    priority = 30
+    selectable = False
+
+    def available(self) -> bool:
+        return _module_importable("cupy")
+
+    def load(self) -> None:
+        raise BackendUnavailable(
+            "the 'cupy' backend is a registration stub: GPU kernels are not "
+            "implemented yet (see src/repro/backend/cupy_backend.py for the "
+            "porting notes); use --backend numba or numpy"
+        )
+
+    def blocked_segments(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        edge_starts: np.ndarray,
+        edge_ends: np.ndarray,
+        edge_dirs: np.ndarray,
+    ) -> np.ndarray:
+        raise NotImplementedError("cupy backend stub")
+
+    def parity_inside(
+        self, edge_starts: np.ndarray, edge_ends: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError("cupy backend stub")
+
+    def power_fill(self, a: np.ndarray, b: np.ndarray, dists: np.ndarray) -> np.ndarray:
+        raise NotImplementedError("cupy backend stub")
+
+    def sweep_coverage(
+        self, bearings: np.ndarray, half_angle: float, tol: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError("cupy backend stub")

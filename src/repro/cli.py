@@ -87,6 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool workers for candidate extraction (1 = in-process)",
     )
     solve.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        choices=("auto", "numpy", "numba", "cupy"),
+        help="compute backend for the extraction kernels (docs/backends.md); "
+        "default: auto (numba when installed, else numpy; REPRO_BACKEND "
+        "env overrides). All backends give byte-identical placements.",
+    )
+    solve.add_argument(
         "--timings", action="store_true", help="print the per-phase timing breakdown"
     )
     solve.add_argument(
@@ -208,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="default per-job timeout (measured from submission)",
     )
+    serve.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        choices=("auto", "numpy", "numba", "cupy"),
+        help="compute backend for all jobs (reported by /v1/metrics); "
+        "default: auto",
+    )
     serve.add_argument("--quiet", action="store_true", help="suppress per-request log lines")
 
     lint = sub.add_parser(
@@ -264,8 +281,19 @@ def _cmd_solve(args) -> int:
         cache = CandidateSetCache(directory=args.candidate_cache)
     if args.budget_sweep:
         return _solve_budget_sweep(args, scenario, cache)
-    sol = solve_hipo(scenario, eps=args.eps, workers=args.workers, candidate_cache=cache)
-    print(f"devices={scenario.num_devices} chargers={scenario.num_chargers} eps={args.eps}")
+    sol = solve_hipo(
+        scenario,
+        eps=args.eps,
+        workers=args.workers,
+        backend=args.backend,
+        candidate_cache=cache,
+    )
+    solve_spans = sol.trace.find_all("solve") if sol.trace is not None else []
+    backend_name = solve_spans[-1].attrs.get("backend", "auto") if solve_spans else "auto"
+    print(
+        f"devices={scenario.num_devices} chargers={scenario.num_chargers} "
+        f"eps={args.eps} backend={backend_name}"
+    )
     print(f"charging utility = {sol.utility:.4f} (approx objective {sol.approx_utility:.4f})")
     if args.timings and sol.timings is not None:
         if args.json:
@@ -417,6 +445,7 @@ def _cmd_serve(args) -> int:
         candidate_cache_bytes=args.candidate_cache_bytes,
         candidate_cache_dir=args.candidate_cache,
         default_timeout_s=args.timeout,
+        backend=args.backend,
         verbose=not args.quiet,
     )
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import activate_backend
 from ..geometry import dedupe_points
 from ..model.network import Scenario
 from ..obs import NULL_TRACER, MetricsRegistry, Tracer
@@ -172,13 +173,26 @@ def simulate_distributed_times(
 _WORKER_GEN: CandidateGenerator | None = None
 
 
-def _pool_init(scenario: Scenario, eps: float, max_positions: int | None = None) -> None:
+def _pool_init(
+    scenario: Scenario,
+    eps: float,
+    max_positions: int | None = None,
+    backend: str | None = None,
+) -> None:
     global _WORKER_GEN
+    # Workers compute on the same backend the parent solve resolved, so
+    # pooled and serial extraction stay byte-identical by construction.
+    activate_backend(backend)
     _WORKER_GEN = CandidateGenerator(scenario, eps=eps, max_positions=max_positions)
 
 
 def extraction_pool(
-    scenario: Scenario, eps: float, workers: int, *, max_positions: int | None = None
+    scenario: Scenario,
+    eps: float,
+    workers: int,
+    *,
+    max_positions: int | None = None,
+    backend: str | None = None,
 ) -> ProcessPoolExecutor:
     """A process pool whose workers hold the scenario-bound extraction state.
 
@@ -197,7 +211,7 @@ def extraction_pool(
     return ProcessPoolExecutor(
         max_workers=workers,
         initializer=_pool_init,
-        initargs=(scenario, eps, max_positions),
+        initargs=(scenario, eps, max_positions, backend),
     )
 
 

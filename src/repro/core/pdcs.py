@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend import active_backend
 from ..geometry import EPS, TWO_PI
 from ..model.entities import Strategy
 from ..model.power import PowerEvaluator
@@ -86,11 +87,10 @@ def sweep_orientations(ctype: ChargerType, mask: np.ndarray, bearings: np.ndarra
         # Omnidirectional charger: a single strategy covers everything coverable.
         return [PointStrategy(0.0, tuple(int(j) for j in idx))]
     b = bearings[idx]
-    # Candidate orientations: each coverable device on the clockwise boundary.
-    thetas = np.mod(b + half, TWO_PI)
-    # coverage[t, d]: device d inside cone oriented at thetas[t]
-    diff = np.abs(np.mod(b[None, :] - thetas[:, None] + math.pi, TWO_PI) - math.pi)
-    coverage = diff <= half + ANG_TOL
+    # Candidate orientations (each coverable device on the clockwise
+    # boundary) and the orientation × device coverage matrix, via the
+    # active compute backend.
+    thetas, coverage = active_backend().sweep_coverage(b, half, ANG_TOL)
     items = [
         (float(thetas[t]), frozenset(int(idx[d]) for d in np.nonzero(coverage[t])[0]))
         for t in range(len(thetas))
@@ -160,7 +160,7 @@ def sweep_position_batch(
         return records, 0.0
     a_vec, b_vec = evaluator.coefficients(ctype)
     approx_b = approx.approx_powers(ctype, dists_b[rows])  # (rows, No)
-    exact_b = a_vec / (dists_b[rows] + b_vec) ** 2
+    exact_b = active_backend().power_fill(a_vec, b_vec, dists_b[rows])
     sweep_seconds = 0.0
     for r, i in enumerate(rows):
         t0 = time.perf_counter()

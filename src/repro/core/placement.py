@@ -18,12 +18,14 @@ with the exact power law.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 import numpy as np
 
+from ..backend import use_backend
 from ..model.entities import Strategy
 from ..model.network import Scenario
 from ..model.utility import total_utility
@@ -177,8 +179,42 @@ class HIPOSolution:
 
 
 #: Positions per batched-sweep task; bounds both worker payload size and the
-#: peak (positions × devices) intermediates of the batched kernels.
-DEFAULT_POSITION_CHUNK = 512
+#: peak (positions × devices) intermediates of the batched kernels.  The
+#: default comes from sweeping chunk sizes on the BENCH_1 scenario
+#: (``benchmarks/bench_backends.py --chunk-sweep``; the
+#: ``extraction.sweep_chunk_seconds`` histogram makes per-chunk cost
+#: observable): 128–512 are within run-to-run noise of each other, with 128
+#: showing the best mean across repeated sweeps (``chunk_sweep`` in
+#: ``BENCH_3.json``); 64 pays too much per-chunk batch setup, and ≥1024
+#: trends slower as the ``(positions × devices)`` intermediates outgrow
+#: cache.
+DEFAULT_EXTRACTION_CHUNK = 128
+
+#: Environment override for the extraction sweep chunk size; an explicit
+#: ``extraction_chunk_size`` argument wins over the environment.
+EXTRACTION_CHUNK_ENV = "REPRO_EXTRACTION_CHUNK"
+
+
+def _resolve_extraction_chunk(value: int | None) -> int:
+    """The sweep chunk size to use: explicit arg > env var > default.
+
+    Chunking only bounds memory and task granularity — record order is
+    preserved — so any positive value yields byte-identical candidates.
+    """
+    if value is None:
+        raw = os.environ.get(EXTRACTION_CHUNK_ENV, "").strip()
+        if not raw:
+            return DEFAULT_EXTRACTION_CHUNK
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"{EXTRACTION_CHUNK_ENV} must be a positive integer, got {raw!r}"
+            ) from exc
+    chunk = int(value)
+    if chunk < 1:
+        raise ValueError(f"extraction chunk size must be positive, got {chunk}")
+    return chunk
 
 
 def build_candidate_set(
@@ -189,13 +225,23 @@ def build_candidate_set(
     positions_by_type: dict[str, np.ndarray] | None = None,
     workers: int | None = None,
     batched: bool = True,
-    position_chunk: int = DEFAULT_POSITION_CHUNK,
+    extraction_chunk_size: int | None = None,
     los_chunk_size: int | None = None,
+    backend: str | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     cancel=None,
 ) -> CandidateSet:
     """Run candidate extraction + PDCS sweeps and assemble the power matrices.
+
+    *backend* names the compute backend for the hot kernels (``"numpy"``,
+    ``"numba"``, ``None``/``"auto"`` — see :mod:`repro.backend`); pool
+    workers inherit the resolved choice, and all backends produce
+    byte-identical candidate sets.  *extraction_chunk_size* tunes the
+    positions-per-sweep-task granularity (falling back to the
+    ``REPRO_EXTRACTION_CHUNK`` environment variable, then
+    :data:`DEFAULT_EXTRACTION_CHUNK`); the resolved value is recorded on
+    the ``sweeps`` span as ``chunk_size``.
 
     *cancel* is a cooperative cancellation token (``is_set() -> bool``,
     e.g. ``threading.Event``) polled between per-device position tasks and
@@ -241,6 +287,7 @@ def build_candidate_set(
     capacities = [int(scenario.budgets.get(ct.name, 0)) for ct in scenario.charger_types]
     nworkers = max(1, int(workers or 1))
     use_pool = nworkers > 1
+    chunk = _resolve_extraction_chunk(extraction_chunk_size)
     sweep_s = 0.0  # CPU-seconds inside Algorithm-1 sweeps (worker-side when pooled)
     dedupe_s = 0.0  # wall-clock inside absorb()
 
@@ -276,7 +323,9 @@ def build_candidate_set(
         mreg.inc("extraction.duplicates", len(records) - kept)
 
     active = [(q, ct) for q, ct in enumerate(scenario.charger_types) if capacities[q] > 0]
-    with trace.span("extraction", workers=nworkers) as ext_sp:
+    with use_backend(backend) as bk, trace.span(
+        "extraction", workers=nworkers, backend=bk.name
+    ) as ext_sp:
         pool = None
         try:
             # Phase 1: candidate positions per charger type.
@@ -289,7 +338,11 @@ def build_candidate_set(
                         )
                 elif use_pool and plain_generator and active:
                     pool = extraction_pool(
-                        scenario, gen.eps, nworkers, max_positions=gen.max_positions
+                        scenario,
+                        gen.eps,
+                        nworkers,
+                        max_positions=gen.max_positions,
+                        backend=bk.name,
                     )
                     pooled = positions_by_type_pooled(pool, scenario, cancel=cancel)
                     for q, ct in active:
@@ -306,7 +359,9 @@ def build_candidate_set(
                 pos_sp.set(positions=sum(positions_per_type.values()))
 
             # Phase 2: PDCS sweeps (batched / pooled / legacy) + dedupe.
-            with trace.span("sweeps", batched=batched, pooled=use_pool) as sw_sp:
+            with trace.span(
+                "sweeps", batched=batched, pooled=use_pool, chunk_size=chunk
+            ) as sw_sp:
                 if not batched:
                     for q, ct in active:
                         positions = pos_map[ct.name]
@@ -321,7 +376,7 @@ def build_candidate_set(
                             if not point_strats:
                                 continue
                             approx_full = approx.approx_powers(ct, dists)
-                            exact_full = a_vec / (dists + b_vec) ** 2
+                            exact_full = bk.power_fill(a_vec, b_vec, dists)
                             records = [
                                 SweptCandidate(
                                     (float(pos[0]), float(pos[1])),
@@ -339,15 +394,19 @@ def build_candidate_set(
                     task_meta: list[tuple[int, object]] = []
                     for q, ct in active:
                         positions = pos_map[ct.name]
-                        for lo in range(0, len(positions), position_chunk):
+                        for lo in range(0, len(positions), chunk):
                             tasks.append(
-                                (ct.name, positions[lo : lo + position_chunk], los_chunk_size)
+                                (ct.name, positions[lo : lo + chunk], los_chunk_size)
                             )
                             task_meta.append((q, ct))
                     if use_pool and plain_generator and tasks:
                         if pool is None:
                             pool = extraction_pool(
-                                scenario, gen.eps, nworkers, max_positions=gen.max_positions
+                                scenario,
+                                gen.eps,
+                                nworkers,
+                                max_positions=gen.max_positions,
+                                backend=bk.name,
                             )
                         for (q, ct), (records, task_sweep_s, snap) in zip(
                             task_meta, pool.map(_sweep_task, tasks)
@@ -461,12 +520,22 @@ def solve_hipo(
     keep_candidates: bool = False,
     workers: int | None = None,
     batched: bool = True,
+    extraction_chunk_size: int | None = None,
+    backend: str | None = None,
     candidate_cache: CandidateSetCache | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     cancel=None,
 ) -> HIPOSolution:
     """Solve a HIPO instance end to end (the paper's full algorithm).
+
+    *backend* selects the compute backend for the extraction hot path
+    (``"numpy"``, ``"numba"``, ``None``/``"auto"``; see
+    :mod:`repro.backend`).  Backends are bit-identical by contract, so the
+    choice affects wall-clock only — never the placement, the utilities or
+    the candidate-cache keys.  The resolved name is stamped on the
+    ``solve`` and ``extraction`` trace spans.  *extraction_chunk_size*
+    tunes sweep-task granularity (see :func:`build_candidate_set`).
 
     Returns a :class:`HIPOSolution`; ``utility`` is the exact objective of
     Eq. (4) for the selected strategies.  ``workers > 1`` runs the candidate
@@ -496,12 +565,13 @@ def solve_hipo(
     """
     trace = tracer if tracer is not None else Tracer()
     mreg = metrics if metrics is not None else MetricsRegistry()
-    with trace.span(
+    with use_backend(backend) as bk, trace.span(
         "solve",
         devices=scenario.num_devices,
         chargers=scenario.num_chargers,
         eps=eps,
         workers=max(1, int(workers or 1)),
+        backend=bk.name,
     ) as root_sp:
         t0 = time.perf_counter()
         cache = candidate_cache if candidate_cache is not None else active_candidate_cache()
@@ -512,7 +582,7 @@ def solve_hipo(
             candidates = cache.get(cache_key, scenario)
         if candidates is not None:
             with trace.span(
-                "extraction", workers=max(1, int(workers or 1)), cached=True
+                "extraction", workers=max(1, int(workers or 1)), cached=True, backend=bk.name
             ) as ext_sp:
                 ext_sp.set(
                     positions=sum(candidates.positions_per_type.values()),
@@ -527,6 +597,7 @@ def solve_hipo(
                 positions_by_type=positions_by_type,
                 workers=workers,
                 batched=batched,
+                extraction_chunk_size=extraction_chunk_size,
                 tracer=trace,
                 metrics=mreg,
                 cancel=cancel,

@@ -88,6 +88,12 @@ def extraction_cache_key(
     ``max_positions`` cap changes the candidate set, and a *subclassed*
     generator keys on its qualified class name so exotic extractors never
     collide with the stock one.
+
+    The compute backend (:mod:`repro.backend`) is deliberately *not* part
+    of the key: backends are bit-identical by contract (enforced by the
+    ``tests/backend`` equivalence suite), so a candidate set extracted on
+    one backend is a valid warm-start for any other — folding the backend
+    in would only fragment the cache.
     """
     params: dict[str, Any] = {"max_positions": None}
     if generator is not None:

@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..backend import active_backend
 from .polygon import Polygon
 from .primitives import EPS, distance
 
@@ -59,6 +60,7 @@ def visible_mask(p: Sequence[float], targets: np.ndarray, obstacles: Sequence[Po
         return mask
     px, py = float(p[0]), float(p[1])
     p_arr = np.array([px, py])
+    backend = active_backend()
     seg_xmin = np.minimum(pts[:, 0], px)
     seg_xmax = np.maximum(pts[:, 0], px)
     seg_ymin = np.minimum(pts[:, 1], py)
@@ -77,26 +79,8 @@ def visible_mask(p: Sequence[float], targets: np.ndarray, obstacles: Sequence[Po
             continue
         sub = pts[idx]  # (m, 2)
         c, d, s = h.edge_arrays()  # (E, 2) edge starts / ends / directions
-        r = sub - p_arr  # (m, 2) segment directions
-        cp = c - p_arr  # (E, 2)
-        dp = d - p_arr
-        # d1/d2: edge endpoints relative to the sight segment (m, E)
-        d1 = r[:, None, 0] * cp[None, :, 1] - r[:, None, 1] * cp[None, :, 0]
-        d2 = r[:, None, 0] * dp[None, :, 1] - r[:, None, 1] * dp[None, :, 0]
-        # d3/d4: segment endpoints relative to each edge (m, E)
-        pc = p_arr - c  # (E, 2)
-        d3 = s[:, 0] * pc[:, 1] - s[:, 1] * pc[:, 0]  # (E,)
-        tc = sub[:, None, :] - c[None, :, :]  # (m, E, 2)
-        d4 = s[None, :, 0] * tc[:, :, 1] - s[None, :, 1] * tc[:, :, 0]
-        proper = (((d1 > EPS) & (d2 < -EPS)) | ((d1 < -EPS) & (d2 > EPS))) & (
-            ((d3[None, :] > EPS) & (d4 < -EPS)) | ((d3[None, :] < -EPS) & (d4 > EPS))
-        )
-        blocked = proper.any(axis=1)
-        # Grazing segments: blocked when the midpoint is inside (parity test).
-        free = np.nonzero(~blocked)[0]
-        if free.size:
-            mids = (sub[free] + p_arr) / 2.0
-            blocked[free] = _parity_inside(c, d, mids)
+        origins = np.repeat(p_arr[None, :], idx.size, axis=0)
+        blocked = backend.blocked_segments(origins, sub, c, d, s)
         mask[idx[blocked]] = False
     return mask
 
@@ -107,29 +91,12 @@ def _blocked_by_polygon(starts: np.ndarray, ends: np.ndarray, h: Polygon) -> np.
     Generalizes the single-origin broadcast of :func:`visible_mask` to
     per-segment origins: proper-crossing test against every edge, with the
     parity (midpoint-inside) fallback for grazing segments.  Semantics match
-    :meth:`Polygon.blocks_segment`.
+    :meth:`Polygon.blocks_segment`.  The array work is delegated to the
+    active compute backend (:func:`repro.backend.active_backend`); every
+    backend returns bit-identical masks.
     """
     c, d, s = h.edge_arrays()  # (E, 2) edge starts / ends / directions
-    r = ends - starts  # (m, 2) segment directions
-    cs = c[None, :, :] - starts[:, None, :]  # (m, E, 2)
-    ds = d[None, :, :] - starts[:, None, :]
-    # d1/d2: edge endpoints relative to each sight segment (m, E)
-    d1 = r[:, None, 0] * cs[..., 1] - r[:, None, 1] * cs[..., 0]
-    d2 = r[:, None, 0] * ds[..., 1] - r[:, None, 1] * ds[..., 0]
-    # d3/d4: segment endpoints relative to each edge (m, E)
-    sc = starts[:, None, :] - c[None, :, :]
-    ec = ends[:, None, :] - c[None, :, :]
-    d3 = s[None, :, 0] * sc[..., 1] - s[None, :, 1] * sc[..., 0]
-    d4 = s[None, :, 0] * ec[..., 1] - s[None, :, 1] * ec[..., 0]
-    proper = (((d1 > EPS) & (d2 < -EPS)) | ((d1 < -EPS) & (d2 > EPS))) & (
-        ((d3 > EPS) & (d4 < -EPS)) | ((d3 < -EPS) & (d4 > EPS))
-    )
-    blocked = proper.any(axis=1)
-    free = np.nonzero(~blocked)[0]
-    if free.size:
-        mids = (starts[free] + ends[free]) / 2.0
-        blocked[free] = _parity_inside(c, d, mids)
-    return blocked
+    return active_backend().blocked_segments(starts, ends, c, d, s)
 
 
 def visible_mask_many(
@@ -185,16 +152,9 @@ def visible_mask_many(
 
 
 def _parity_inside(c: np.ndarray, d: np.ndarray, pts: np.ndarray) -> np.ndarray:
-    """Vectorized even-odd point-in-polygon over edges ``(c[k], d[k])``
-    (no boundary refinement)."""
-    x, y = pts[:, 0], pts[:, 1]
-    cond = (c[None, :, 1] > y[:, None]) != (d[None, :, 1] > y[:, None])
-    with np.errstate(divide="ignore", invalid="ignore"):
-        x_cross = (d[:, 0] - c[:, 0])[None, :] * (y[:, None] - c[None, :, 1]) / (
-            d[:, 1] - c[:, 1]
-        )[None, :] + c[None, :, 0]
-    crossing = cond & (x[:, None] < x_cross)
-    return crossing.sum(axis=1) % 2 == 1
+    """Even-odd point-in-polygon over edges ``(c[k], d[k])`` (no boundary
+    refinement), delegated to the active compute backend."""
+    return active_backend().parity_inside(c, d, pts)
 
 
 def shadow_rays(

@@ -25,6 +25,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..backend import active_backend
 from ..geometry import EPS, TWO_PI, Polygon, visible_mask, visible_mask_many
 from .entities import Device, Strategy
 from .types import ChargerType, CoefficientTable
@@ -228,7 +229,7 @@ class PowerEvaluator:
         if mask.any():
             a, b = self.coefficients(strategy.ctype)
             d = dists if distances is None else distances
-            out[mask] = a[mask] / (d[mask] + b[mask]) ** 2
+            out[mask] = active_backend().power_fill(a[mask], b[mask], d[mask])
         return out
 
     def power_matrix(self, strategies: Sequence[Strategy]) -> np.ndarray:

@@ -1,0 +1,96 @@
+"""BKD701: accelerator imports in backend code must be lazy."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+def test_bkd701_fires_on_top_level_accelerator_imports(lint_tree):
+    result = lint_tree(
+        {
+            "backend/bad.py": """\
+    import numba
+    from cupy import asarray
+    import numpy as np
+
+    def kernel(x):
+        return np.sum(x)
+    """
+        },
+        select=["BKD701"],
+    )
+    assert rule_ids(result) == ["BKD701", "BKD701"]
+    messages = " ".join(v.message for v in result.violations)
+    assert "numba" in messages and "cupy" in messages and "load()" in messages
+
+
+def test_bkd701_fires_inside_top_level_try_and_if(lint_tree):
+    # try/except and plain `if` at module level still import eagerly.
+    result = lint_tree(
+        {
+            "backend/guarded.py": """\
+    import os
+
+    try:
+        import numba
+    except ImportError:
+        numba = None
+
+    if os.environ.get("ACCEL"):
+        import cupy
+    """
+        },
+        select=["BKD701"],
+    )
+    assert rule_ids(result) == ["BKD701", "BKD701"]
+
+
+def test_bkd701_clean_on_lazy_and_type_checking_imports(lint_tree):
+    result = lint_tree(
+        {
+            "backend/good.py": """\
+    from typing import TYPE_CHECKING
+
+    import numpy as np
+
+    if TYPE_CHECKING:
+        import numba
+
+    class NumbaBackend:
+        def load(self):
+            import numba
+
+            self.jit = numba.njit(cache=True)
+
+    def helper():
+        from cupy import asarray
+
+        return asarray
+    """
+        },
+        select=["BKD701"],
+    )
+    assert result.violations == []
+
+
+def test_bkd701_out_of_scope_outside_backend(lint_tree):
+    # The rule polices repro.backend only; experiments may import torch etc.
+    result = lint_tree(
+        {
+            "experiments/accel.py": """\
+    import numba
+    """
+        },
+        select=["BKD701"],
+    )
+    assert result.violations == []
+
+
+def test_bkd701_real_backend_package_is_clean():
+    """The shipped backend implementations obey their own rule."""
+    from repro.analysis import default_source_root, run_analysis
+
+    result = run_analysis([default_source_root()], select=["BKD701"])
+    assert result.violations == []

@@ -1,0 +1,85 @@
+"""Helpers shared by the backend test modules.
+
+``PyLoopBackend`` is the numba backend *without* compilation: the same
+scalar-loop kernel bodies running as plain Python.  It exists so the numba
+kernel logic is exercised against the numpy oracle on every machine — when
+numba is installed, the compiled backend is additionally tested (same
+bodies, compiled).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import backend as backend_pkg
+from repro.backend import KernelBackend, register_backend
+from repro.backend.numba_backend import NumbaBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.geometry import rectangle
+from repro.model import (
+    ChargerType,
+    CoefficientTable,
+    Device,
+    DeviceType,
+    PairCoefficients,
+    Scenario,
+)
+
+
+class PyLoopBackend(NumbaBackend):
+    """Uncompiled numba kernels — always available, never auto-selected."""
+
+    name = "pyloop"
+    priority = -100
+    selectable = False
+
+    def available(self) -> bool:
+        return True
+
+    def load(self) -> None:
+        # Keep the plain-Python kernel bodies installed by __init__.
+        pass
+
+
+def alternative_backends() -> list[KernelBackend]:
+    """Every backend that must match the numpy oracle on this machine."""
+    alts: list[KernelBackend] = [PyLoopBackend()]
+    compiled = NumbaBackend()
+    if compiled.available():
+        alts.append(compiled.ensure_loaded())
+    return alts
+
+
+@pytest.fixture
+def pyloop_registered():
+    """Register the pyloop backend for the duration of one test."""
+    register_backend(PyLoopBackend())
+    try:
+        yield "pyloop"
+    finally:
+        backend_pkg._REGISTRY.pop("pyloop", None)
+        backend_pkg._DEFAULT_CACHE.clear()
+
+
+@pytest.fixture(scope="session")
+def numpy_backend() -> NumpyBackend:
+    return NumpyBackend()
+
+
+def solve_scenario() -> Scenario:
+    """A small obstacle-rich instance for end-to-end byte-equality tests."""
+    ct = ChargerType("ct", math.pi / 2.0, 1.0, 6.0)
+    dt = DeviceType("dt", 2.0 * math.pi)
+    table = CoefficientTable({("ct", "dt"): PairCoefficients(100.0, 5.0)})
+    positions = [(4.0, 4.0), (8.0, 11.0), (12.0, 10.0), (16.0, 14.0), (5.0, 15.0)]
+    devices = tuple(Device(p, 0.0, dt, 0.5) for p in positions)
+    return Scenario(
+        bounds=(0.0, 0.0, 20.0, 20.0),
+        devices=devices,
+        obstacles=(rectangle(6.0, 6.0, 9.0, 9.0), rectangle(12.0, 3.0, 14.0, 5.0)),
+        charger_types=(ct,),
+        budgets={"ct": 2},
+        table=table,
+    )

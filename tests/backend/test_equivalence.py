@@ -1,0 +1,242 @@
+"""Cross-backend bit-equality: every backend must match the numpy oracle.
+
+The seam's contract is *bitwise* interchangeability — candidate sets,
+cache blobs and placements may not depend on the backend.  Hypothesis
+drives the kernels over lattice coordinates (quarter-integer grid) so
+degenerate configurations — collinear touches, vertex-grazing rays,
+segments lying exactly along edges, zero-aperture sectors — occur with
+high probability instead of almost never.
+
+The ``pyloop`` backend (see ``backend_testlib.py``) runs the numba kernel bodies
+uncompiled, so the compiled path's logic is verified even on machines
+without numba; when numba is importable the compiled backend joins the
+comparison too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from backend_testlib import (  # noqa: F401  (fixtures register on import)
+    alternative_backends,
+    numpy_backend,
+    pyloop_registered,
+    solve_scenario,
+)
+
+from repro.backend import use_backend
+from repro.geometry import Polygon, rectangle, visible_mask, visible_mask_many
+from repro.geometry.primitives import TWO_PI
+
+ALTS = alternative_backends()
+
+
+def alt_ids():
+    return [b.name for b in ALTS]
+
+
+# Quarter-integer lattice coordinates: exact in binary floating point, so
+# collinearity and on-boundary cases are *exact*, not approximate.
+coord = st.integers(min_value=-20, max_value=20).map(lambda k: k / 4.0)
+point = st.tuples(coord, coord)
+
+
+@st.composite
+def lattice_polygon(draw):
+    """A valid (positive-area) axis-aligned rectangle on the lattice."""
+    x0 = draw(st.integers(min_value=-16, max_value=12))
+    y0 = draw(st.integers(min_value=-16, max_value=12))
+    w = draw(st.integers(min_value=1, max_value=8))
+    h = draw(st.integers(min_value=1, max_value=8))
+    return rectangle(x0 / 2.0, y0 / 2.0, (x0 + w) / 2.0, (y0 + h) / 2.0)
+
+
+@st.composite
+def lattice_triangle(draw):
+    """A positive-area triangle on the lattice (degenerate draws rejected)."""
+    pts = draw(st.lists(point, min_size=3, max_size=3, unique=True))
+    (ax, ay), (bx, by), (cx, cy) = pts
+    area2 = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    assume(area2 != 0)  # reject collinear triples
+    return Polygon(pts if area2 > 0 else list(reversed(pts)))
+
+
+obstacle = st.one_of(lattice_polygon(), lattice_triangle())
+
+
+def assert_bits_equal(expected: np.ndarray, got: np.ndarray, label: str) -> None:
+    assert got.dtype == expected.dtype, f"{label}: dtype {got.dtype} != {expected.dtype}"
+    assert got.shape == expected.shape, f"{label}: shape {got.shape} != {expected.shape}"
+    assert got.tobytes() == expected.tobytes(), f"{label}: payload bits differ"
+
+
+@pytest.mark.parametrize("alt", ALTS, ids=alt_ids())
+@settings(max_examples=150, deadline=None)
+@given(
+    segs=st.lists(st.tuples(point, point), min_size=1, max_size=12),
+    poly=obstacle,
+)
+def test_blocked_segments_bitwise_equal(numpy_backend, alt, segs, poly):
+    starts = np.array([s for s, _ in segs], dtype=float)
+    ends = np.array([e for _, e in segs], dtype=float)
+    c, d, s = poly.edge_arrays()
+    expected = numpy_backend.blocked_segments(starts, ends, c, d, s)
+    got = alt.blocked_segments(starts, ends, c, d, s)
+    assert_bits_equal(expected, np.asarray(got), "blocked_segments")
+
+
+@pytest.mark.parametrize("alt", ALTS, ids=alt_ids())
+@settings(max_examples=150, deadline=None)
+@given(pts=st.lists(point, min_size=1, max_size=16), poly=obstacle)
+def test_parity_inside_bitwise_equal(numpy_backend, alt, pts, poly):
+    points = np.array(pts, dtype=float)
+    c, d, _ = poly.edge_arrays()
+    expected = numpy_backend.parity_inside(c, d, points)
+    got = alt.parity_inside(c, d, points)
+    assert_bits_equal(expected, np.asarray(got), "parity_inside")
+
+
+@pytest.mark.parametrize("alt", ALTS, ids=alt_ids())
+@settings(max_examples=100, deadline=None)
+@given(
+    positions=st.lists(point, min_size=1, max_size=6),
+    targets=st.lists(point, min_size=1, max_size=6),
+    polys=st.lists(obstacle, min_size=0, max_size=2),
+    chunk=st.integers(min_value=1, max_value=64),
+)
+def test_visible_mask_many_bitwise_equal(numpy_backend, alt, positions, targets, polys, chunk):
+    pos = np.array(positions, dtype=float)
+    tgt = np.array(targets, dtype=float)
+    with use_backend(numpy_backend):
+        expected = visible_mask_many(pos, tgt, polys, chunk_size=chunk)
+        expected_single = visible_mask(pos[0], tgt, polys)
+    with use_backend(alt):
+        got = visible_mask_many(pos, tgt, polys, chunk_size=chunk)
+        got_single = visible_mask(pos[0], tgt, polys)
+    assert_bits_equal(expected, got, "visible_mask_many")
+    assert_bits_equal(expected_single, got_single, "visible_mask")
+    # The batched row equals the single-origin mask on every backend.
+    assert_bits_equal(got[0], got_single, "row-vs-single")
+
+
+# Bearings on an exact lattice of angles so cone boundaries are grazed.
+bearing = st.integers(min_value=0, max_value=63).map(lambda k: k * (TWO_PI / 64.0))
+# Half-angles include 0.0 — the zero-area sector — and π (omni cone edge).
+half_angle = st.sampled_from(
+    [0.0, TWO_PI / 64.0, TWO_PI / 8.0, math.pi / 2.0, math.pi - 1e-9, math.pi]
+)
+
+
+@pytest.mark.parametrize("alt", ALTS, ids=alt_ids())
+@settings(max_examples=150, deadline=None)
+@given(bearings=st.lists(bearing, min_size=1, max_size=12), half=half_angle)
+def test_sweep_coverage_bitwise_equal(numpy_backend, alt, bearings, half):
+    b = np.array(bearings, dtype=float)
+    thetas_e, cov_e = numpy_backend.sweep_coverage(b, half, 1e-9)
+    thetas_g, cov_g = alt.sweep_coverage(b, half, 1e-9)
+    assert_bits_equal(thetas_e, np.asarray(thetas_g), "sweep thetas")
+    assert_bits_equal(cov_e, np.asarray(cov_g), "sweep coverage")
+    # A device always sits on its own clockwise boundary: diagonal covered.
+    assert bool(np.all(np.diagonal(cov_g)))
+
+
+positive = st.integers(min_value=1, max_value=400).map(lambda k: k / 8.0)
+
+
+@pytest.mark.parametrize("alt", ALTS, ids=alt_ids())
+@settings(max_examples=150, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_power_fill_bitwise_equal(numpy_backend, alt, rows, cols, data):
+    a = np.array(data.draw(st.lists(positive, min_size=cols, max_size=cols)))
+    b = np.array(data.draw(st.lists(positive, min_size=cols, max_size=cols)))
+    flat = np.array(data.draw(st.lists(positive, min_size=cols, max_size=cols)))
+    grid = np.array(
+        data.draw(
+            st.lists(
+                st.lists(positive, min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+    )
+    assert_bits_equal(
+        numpy_backend.power_fill(a, b, flat), np.asarray(alt.power_fill(a, b, flat)), "1d"
+    )
+    assert_bits_equal(
+        numpy_backend.power_fill(a, b, grid), np.asarray(alt.power_fill(a, b, grid)), "2d"
+    )
+
+
+# ---------------------------------------------------------------- solves --
+
+
+def _solve_scenario():
+    return solve_scenario()
+
+
+def test_candidates_and_solutions_byte_identical_across_backends(pyloop_registered):
+    """The acceptance criterion, end to end: candidate blobs and placements
+    from different backends are byte-for-byte the same."""
+    from repro.core import build_candidate_set, solve_hipo
+    from repro.core.reuse import serialize_candidate_set
+
+    sc = _solve_scenario()
+    backends = ["numpy", pyloop_registered]
+    from repro.backend.numba_backend import NumbaBackend
+
+    if NumbaBackend().available():
+        backends.append("numba")
+
+    blobs = {}
+    solutions = {}
+    for name in backends:
+        blobs[name] = serialize_candidate_set(build_candidate_set(sc, backend=name))
+        solutions[name] = solve_hipo(sc, backend=name)
+    reference = blobs["numpy"]
+    for name in backends[1:]:
+        assert blobs[name] == reference, f"candidate blob differs on {name}"
+        assert solutions[name].utility == solutions["numpy"].utility
+        assert solutions[name].approx_utility == solutions["numpy"].approx_utility
+        assert [s.position for s in solutions[name].strategies] == [
+            s.position for s in solutions["numpy"].strategies
+        ]
+        assert [s.orientation for s in solutions[name].strategies] == [
+            s.orientation for s in solutions["numpy"].strategies
+        ]
+
+
+def test_cache_key_excludes_backend(pyloop_registered):
+    """Candidate-cache keys are backend-independent: a set extracted on one
+    backend warm-starts a solve on another, byte-identically."""
+    from repro.core import solve_hipo
+    from repro.core.reuse import CandidateSetCache, extraction_cache_key
+
+    sc = _solve_scenario()
+    key = extraction_cache_key(sc)
+    cache = CandidateSetCache()
+    cold = solve_hipo(sc, backend="numpy", candidate_cache=cache)
+    assert cache.stats()["misses"] == 1
+    warm = solve_hipo(sc, backend=pyloop_registered, candidate_cache=cache)
+    assert cache.stats()["hits"] == 1
+    assert extraction_cache_key(sc) == key  # key is a pure content address
+    assert warm.utility == cold.utility
+    assert [s.position for s in warm.strategies] == [s.position for s in cold.strategies]
+
+
+def test_solve_span_records_backend():
+    from repro.core import solve_hipo
+
+    sol = solve_hipo(_solve_scenario(), backend="numpy")
+    solve_span = sol.trace.find_all("solve")[-1]
+    assert solve_span.attrs["backend"] == "numpy"
+    ext_span = sol.trace.find_all("extraction")[-1]
+    assert ext_span.attrs["backend"] == "numpy"

@@ -76,8 +76,32 @@ def test_chunk_size_invariance():
     sc = scenario_with_obstacles()
     base = build_candidate_set(sc)
     for chunk in (1, 7, 64):
-        other = build_candidate_set(sc, position_chunk=chunk)
+        other = build_candidate_set(sc, extraction_chunk_size=chunk)
         assert_candidate_sets_identical(base, other)
+
+
+def test_chunk_size_env_override(monkeypatch):
+    sc = scenario_with_obstacles()
+    base = build_candidate_set(sc)
+    monkeypatch.setenv("REPRO_EXTRACTION_CHUNK", "9")
+    other = build_candidate_set(sc)
+    assert_candidate_sets_identical(base, other)
+    monkeypatch.setenv("REPRO_EXTRACTION_CHUNK", "not-a-number")
+    with pytest.raises(ValueError):
+        build_candidate_set(sc)
+    monkeypatch.setenv("REPRO_EXTRACTION_CHUNK", "0")
+    with pytest.raises(ValueError):
+        build_candidate_set(sc)
+
+
+def test_chunk_size_recorded_in_sweeps_span():
+    from repro.obs import Tracer
+
+    sc = scenario_no_obstacles()
+    trace = Tracer()
+    build_candidate_set(sc, extraction_chunk_size=33, tracer=trace)
+    sweeps = trace.find_all("sweeps")
+    assert sweeps and sweeps[-1].attrs["chunk_size"] == 33
 
 
 def test_timings_populated():

@@ -221,3 +221,32 @@ def test_solve_candidate_cache_dir_persists(capsys, tmp_path):
     second = capsys.readouterr().out
     assert first.splitlines()[:1] == second.splitlines()[:1]
     assert list(cache_dir.glob("*.candidates")) == blobs
+
+
+def test_solve_backend_round_trip(capsys):
+    """--backend numpy is honored end to end and echoed in the summary line."""
+    base = ["solve", "--seed", "3", "--devices", "1", "--chargers", "1"]
+    assert main(base + ["--backend", "numpy"]) == 0
+    explicit = capsys.readouterr().out
+    assert "backend=numpy" in explicit
+
+    # Default (auto) resolves to a concrete backend name, never "auto".
+    assert main(base) == 0
+    auto = capsys.readouterr().out
+    assert "backend=auto" not in auto and "backend=" in auto
+
+    # Identical placements either way: the backend is a perf knob, not a knob
+    # on the answer (only the backend= token may differ).
+    assert explicit.split("backend=")[0] == auto.split("backend=")[0]
+
+
+def test_solve_backend_rejects_unknown_choice(capsys):
+    with pytest.raises(SystemExit):
+        main(["solve", "--backend", "tpu"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_serve_parser_accepts_backend():
+    args = build_parser().parse_args(["serve", "--backend", "numpy"])
+    assert args.backend == "numpy"
+    assert build_parser().parse_args(["serve"]).backend is None
