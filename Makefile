@@ -1,6 +1,6 @@
 PYTHONPATH_PREFIX = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint typecheck bench-smoke bench-scaling bench-cache bench-backends serve serve-smoke ci
+.PHONY: test lint typecheck bench-smoke bench-scaling bench-cache bench-backends serve serve-smoke vary-smoke ci
 
 test:
 	$(PYTHONPATH_PREFIX) python -m pytest -x -q
@@ -28,6 +28,10 @@ bench-cache:
 
 bench-backends:
 	$(PYTHONPATH_PREFIX) python benchmarks/bench_backends.py --chunk-sweep
+
+vary-smoke:
+	$(PYTHONPATH_PREFIX) python -m repro.variation --families all --budget 150 \
+		--seed 20260808 --eps 0.35 --out /tmp/vary-repros --quiet
 
 ci:
 	sh scripts/ci.sh

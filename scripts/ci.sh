@@ -17,6 +17,12 @@
 # Static gates run first (fail fast, cheapest signals): the project
 # analyzer (docs/static-analysis.md) over src/repro, then the
 # strict-typing gate (scripts/typecheck.sh).
+#
+# The differential smoke (repro.variation, docs/variation.md) generates
+# a bounded corpus of seeded scenarios across every registered family
+# and checks one solver invariant per scenario; the run must be clean,
+# every scenario distinct, and a second run with the same seed must
+# reproduce the exact same provenance stamps (stamps_digest equality).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -67,6 +73,25 @@ assert doc['cold_solve']['byte_identical'] is True, doc['cold_solve']
 assert doc['meta']['backend']['active'] in doc['backends']['tested'], doc['meta']['backend']
 print('backends smoke bench ok (cold solves byte-identical, backend stamped)')
 " "$BACKENDS_OUT"
+
+VARY_OUT="${TMPDIR:-/tmp}/vary_smoke.json"
+VARY_OUT2="${TMPDIR:-/tmp}/vary_smoke_rerun.json"
+VARY_REPROS="${TMPDIR:-/tmp}/vary_smoke_repros"
+python -m repro.variation --families all --budget 60 --seed 20260808 \
+    --eps 0.4 --out "$VARY_REPROS" --quiet --json > "$VARY_OUT"
+python -m repro.variation --families all --budget 60 --seed 20260808 \
+    --eps 0.4 --out "$VARY_REPROS" --quiet --json > "$VARY_OUT2"
+python -c "
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a['schema'] == 'repro.variation.report/v1', a.get('schema')
+assert a['ok'] is True, a['violations']
+assert a['scenarios'] >= 60 and a['distinct_scenarios'] == a['scenarios'], a
+assert len(a['families_seen']) >= 5, a['families_seen']
+assert a['stamps_digest'] == b['stamps_digest'], 'non-deterministic corpus'
+print('variation differential smoke ok (clean, distinct, deterministic)')
+" "$VARY_OUT" "$VARY_OUT2"
 
 TRACE_OUT="${TMPDIR:-/tmp}/repro_trace_smoke.jsonl"
 python -m repro solve --seed 3 --devices 1 --chargers 1 --workers 2 \

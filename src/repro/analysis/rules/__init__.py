@@ -14,6 +14,7 @@ from .concurrency import CancelPollRule, LockGuardRule, LockHazardRule
 from .determinism import SetIterationRule, UnseededRandomRule, WallClockRule
 from .hygiene import FloatEqualityRule, PicklableTaskRule, SpanContextRule
 from .typing_rules import AnnotationsRequiredRule, BareGenericRule
+from .variation import PureVariationRule
 
 __all__ = ["default_rules"]
 
@@ -30,6 +31,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     PicklableTaskRule,       # PCK501
     AnnotationsRequiredRule, # TYP601
     BareGenericRule,         # TYP602
+    PureVariationRule,       # VAR801
 )
 
 

@@ -36,7 +36,9 @@ class UnseededRandomRule(Rule):
 
     rule_id = "DET101"
     severity = "error"
-    scope = _NUMERIC_SCOPE
+    # The numeric core plus the workload generators: every registered
+    # scenario generator must take its randomness explicitly too.
+    scope = _NUMERIC_SCOPE + ("generators.py",)
     summary = "no global/unseeded random or np.random calls in the numeric core"
 
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:

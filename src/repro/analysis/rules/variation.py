@@ -1,0 +1,130 @@
+"""Variation-purity rule (VAR8xx).
+
+The replayability contract of :mod:`repro.variation` is that every
+generated scenario — and every reported violation — is a pure function of
+its ``(family, params, seed)`` stamp.  One impure read (wall clock,
+global RNG, ambient environment) silently breaks bit-replay of repro
+files, the worst kind of differential-testing bug: the harness that is
+supposed to catch nondeterminism becomes nondeterministic itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_name
+from ..engine import ModuleContext, Project, Rule, Violation
+
+__all__ = ["PureVariationRule"]
+
+#: np.random members that construct *seedable* RNG state (allowed).
+_SEEDABLE = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}
+
+
+class PureVariationRule(Rule):
+    """VAR801: variation code must be pure in ``(params, seed)``.
+
+    Flags, anywhere under ``src/repro/variation/``:
+
+    * wall-clock reads (``time.time``/``time_ns``/``localtime``/…,
+      ``datetime.now``/``utcnow``/``today``) — duration probes like
+      ``perf_counter`` are equally banned here: even *timing* must not
+      leak into reports, which are asserted bit-reproducible;
+    * global/unseeded RNG (``random.*``, legacy ``np.random.<fn>()``) —
+      all randomness must flow from the stamped seed;
+    * ambient environment reads (``os.environ[...]``,
+      ``os.environ.get``, ``os.getenv``) — configuration must arrive as
+      explicit parameters so a repro file alone pins the behavior.
+    """
+
+    rule_id = "VAR801"
+    severity = "error"
+    scope = ("variation",)
+    summary = "variation families/harness must be pure functions of (params, seed)"
+
+    _TIME_FNS = {
+        "time",
+        "time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+    }
+    _DATE_FNS = {"now", "utcnow", "today"}
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                chain = self._attr_chain(node.value)
+                if chain == ("os", "environ"):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "ambient os.environ read; variation code must take explicit "
+                        "parameters so (family, params, seed) replays bit-for-bit",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name(node)
+            if chain is None:
+                continue
+            if chain[0] == "time" and chain[-1] in self._TIME_FNS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"clock read time.{chain[-1]}; variation output (including "
+                    "reports) is asserted bit-reproducible, so no timing may leak in",
+                )
+            elif chain[-1] in self._DATE_FNS and any(
+                part in ("datetime", "date") for part in chain[:-1]
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read {'.'.join(chain)}; scenario generation must "
+                    "not depend on the current date",
+                )
+            elif chain[0] == "random" and len(chain) == 2:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"global-state RNG random.{chain[1]}; derive all randomness "
+                    "from the stamped seed via np.random.SeedSequence",
+                )
+            elif (
+                len(chain) == 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and chain[2] not in _SEEDABLE
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy global RNG np.random.{chain[2]}; derive all randomness "
+                    "from the stamped seed via np.random.SeedSequence",
+                )
+            elif chain in (("os", "environ", "get"), ("os", "getenv")):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "ambient environment read; variation code must take explicit "
+                    "parameters so (family, params, seed) replays bit-for-bit",
+                )
+
+    @staticmethod
+    def _attr_chain(node: ast.expr) -> tuple[str, ...] | None:
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        return None

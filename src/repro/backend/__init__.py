@@ -22,6 +22,10 @@ call site:
   importing :mod:`repro.backend` never pays a compiler import.
 * ``cupy`` (:mod:`.cupy_backend`) — a registration stub marking where a
   GPU path plugs in; never auto-selected.
+* ``pyloop`` (:mod:`.pyloop_backend`) — the numba kernel bodies running
+  as plain Python: always available, never auto-selected.  The
+  independent second implementation behind the cross-backend
+  byte-equality invariant of :mod:`repro.variation`.
 
 Backends are **numerically interchangeable by contract**: every kernel
 must return bit-identical arrays for identical inputs, so candidate sets,
@@ -325,7 +329,9 @@ def _module_importable(module: str) -> bool:
 from .cupy_backend import CuPyBackend  # noqa: E402 - registry population
 from .numba_backend import NumbaBackend  # noqa: E402
 from .numpy_backend import NumpyBackend  # noqa: E402
+from .pyloop_backend import PyLoopBackend  # noqa: E402
 
 register_backend(NumpyBackend())
 register_backend(NumbaBackend())
 register_backend(CuPyBackend())
+register_backend(PyLoopBackend())

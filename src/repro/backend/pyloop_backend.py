@@ -1,0 +1,36 @@
+"""Uncompiled scalar-loop backend (``pyloop``).
+
+The numba kernel bodies (:mod:`.numba_backend`) running as plain Python —
+a second, independently written implementation of every kernel that is
+available on *every* machine, compiler or not.  Two consumers rely on it:
+
+* the differential-testing harness (:mod:`repro.variation`) uses it as the
+  always-on counterpart for the cross-backend byte-equality invariant
+  (``numpy`` oracle vs ``pyloop`` loops) on machines without numba;
+* the backend test suite exercises the numba kernel *logic* against the
+  numpy oracle even where the compiler is absent.
+
+Never auto-selected (``selectable=False``): plain-Python loops are orders
+of magnitude slower than the vectorized oracle, so the backend must be
+requested by name.  Output is bit-identical to every other backend by the
+:class:`~repro.backend.KernelBackend` contract.
+"""
+
+from __future__ import annotations
+
+from .numba_backend import NumbaBackend
+
+
+class PyLoopBackend(NumbaBackend):
+    """The numba kernels without compilation — always available, explicit-only."""
+
+    name = "pyloop"
+    priority = -100
+    selectable = False
+
+    def available(self) -> bool:
+        return True
+
+    def load(self) -> None:
+        # Keep the plain-Python kernel bodies installed by __init__.
+        pass

@@ -90,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default=None,
-        choices=("auto", "numpy", "numba", "cupy"),
+        choices=("auto", "numpy", "numba", "cupy", "pyloop"),
         help="compute backend for the extraction kernels (docs/backends.md); "
         "default: auto (numba when installed, else numpy; REPRO_BACKEND "
         "env overrides). All backends give byte-identical placements.",
@@ -221,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default=None,
-        choices=("auto", "numpy", "numba", "cupy"),
+        choices=("auto", "numpy", "numba", "cupy", "pyloop"),
         help="compute backend for all jobs (reported by /v1/metrics); "
         "default: auto",
     )
@@ -256,6 +256,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the registered rules and exit"
+    )
+
+    vary = sub.add_parser(
+        "vary", help="scenario-diversity differential testing (docs/variation.md)"
+    )
+    vary.add_argument(
+        "--families",
+        type=str,
+        default="all",
+        metavar="NAMES",
+        help="comma-separated scenario family names, or 'all' (default)",
+    )
+    vary.add_argument("--budget", type=int, default=100, help="scenarios to generate")
+    vary.add_argument("--seed", type=int, default=0, help="corpus seed")
+    vary.add_argument("--eps", type=float, default=0.3, help="solver eps for all checks")
+    vary.add_argument(
+        "--strategy",
+        choices=("mixed", "grid", "random", "adversarial"),
+        default="mixed",
+        help="exploration strategy",
+    )
+    vary.add_argument(
+        "--invariants",
+        type=str,
+        default="all",
+        metavar="NAMES",
+        help="comma-separated invariant names, or 'all' (default)",
+    )
+    vary.add_argument(
+        "--no-rotate",
+        action="store_true",
+        help="run every invariant on every scenario (default: round-robin)",
+    )
+    vary.add_argument(
+        "--out",
+        type=str,
+        default="vary-repros",
+        metavar="DIR",
+        help="directory for violation repro files",
+    )
+    vary.add_argument(
+        "--shrink-evals", type=int, default=40, help="solver probes allowed per shrink"
+    )
+    vary.add_argument("--json", action="store_true", help="print the machine-readable report")
+    vary.add_argument("--quiet", action="store_true", help="suppress progress output")
+    vary.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="re-run the failing check of a repro file and exit",
+    )
+    vary.add_argument(
+        "--list-families", action="store_true", help="print the family catalog and exit"
+    )
+    vary.add_argument(
+        "--list-invariants", action="store_true", help="print the invariant catalog and exit"
     )
     return parser
 
@@ -466,6 +523,27 @@ def _cmd_lint(args) -> int:
     return lint_main(argv, prog="repro lint")
 
 
+def _cmd_vary(args) -> int:
+    from .variation.cli import main as vary_main
+
+    argv = [
+        "--families", args.families,
+        "--budget", str(args.budget),
+        "--seed", str(args.seed),
+        "--eps", str(args.eps),
+        "--strategy", args.strategy,
+        "--invariants", args.invariants,
+        "--out", args.out,
+        "--shrink-evals", str(args.shrink_evals),
+    ]
+    for flag in ("no_rotate", "json", "quiet", "list_families", "list_invariants"):
+        if getattr(args, flag):
+            argv.append("--" + flag.replace("_", "-"))
+    if args.replay:
+        argv += ["--replay", args.replay]
+    return vary_main(argv, prog="repro vary")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -478,6 +556,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "serve": _cmd_serve,
         "lint": _cmd_lint,
+        "vary": _cmd_vary,
     }
     return handlers[args.command](args)
 

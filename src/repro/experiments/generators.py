@@ -26,24 +26,63 @@ from .scenarios import (
     default_charger_types,
     default_coefficients,
     default_device_types,
+    random_scenario,
+    small_scenario,
 )
 
 __all__ = [
+    "as_generator",
     "random_convex_obstacle",
     "random_star_obstacle",
     "clustered_devices",
     "cluttered_scenario",
+    "register_scenario_generator",
+    "scenario_generators",
 ]
 
 
+def as_generator(rng: np.random.Generator | int) -> np.random.Generator:
+    """Coerce an explicit seed into a ``numpy.random.Generator``.
+
+    Every generator in this module takes its randomness explicitly — there
+    is no module-level RNG to leak state between calls (rule DET101).  This
+    helper lets callers pass either a ready ``Generator`` or a plain integer
+    seed; anything else raises ``TypeError``.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected np.random.Generator or int seed, got {type(rng).__name__}")
+
+
+#: Named scenario-producing callables ``(rng, **kwargs) -> Scenario``.  The
+#: variation layer (:mod:`repro.variation`) enumerates this registry; each
+#: entry must be a pure function of its explicit ``rng`` and kwargs.
+_SCENARIO_GENERATORS: dict[str, object] = {}
+
+
+def register_scenario_generator(name: str, fn) -> None:
+    """Register a named scenario generator (replacing any same-named one)."""
+    if not name:
+        raise ValueError("generator name must be non-empty")
+    _SCENARIO_GENERATORS[name] = fn
+
+
+def scenario_generators() -> dict[str, object]:
+    """Name → scenario generator callable for every registered generator."""
+    return dict(_SCENARIO_GENERATORS)
+
+
 def random_convex_obstacle(
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     center: tuple[float, float],
     radius: float,
     *,
     points: int = 8,
 ) -> Polygon:
     """Convex obstacle: hull of random points in a disk around *center*."""
+    rng = as_generator(rng)
     if radius <= 0.0:
         raise ValueError("radius must be positive")
     for _ in range(32):
@@ -60,7 +99,7 @@ def random_convex_obstacle(
 
 
 def random_star_obstacle(
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     center: tuple[float, float],
     rmin: float,
     rmax: float,
@@ -72,6 +111,7 @@ def random_star_obstacle(
     Angles are sorted so consecutive vertices never cross — the polygon is
     simple by construction, matching the paper's "arbitrary shapes".
     """
+    rng = as_generator(rng)
     if not (0.0 < rmin <= rmax):
         raise ValueError("need 0 < rmin <= rmax")
     n = max(vertices, 3)
@@ -86,7 +126,7 @@ def random_star_obstacle(
 
 
 def clustered_devices(
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     *,
     clusters: int = 3,
     per_cluster: int = 6,
@@ -100,6 +140,7 @@ def clustered_devices(
     Draws falling outside the region or inside obstacles are re-sampled;
     device types cycle through the Table 3 catalogue.
     """
+    rng = as_generator(rng)
     xmin, ymin, xmax, ymax = bounds
     dtypes = default_device_types()
     centers = [
@@ -124,7 +165,7 @@ def clustered_devices(
 
 
 def cluttered_scenario(
-    rng: np.random.Generator,
+    rng: np.random.Generator | int,
     *,
     num_obstacles: int = 4,
     clusters: int = 3,
@@ -135,6 +176,7 @@ def cluttered_scenario(
 ) -> Scenario:
     """A clutter-heavy instance: random star/convex obstacles + clustered
     devices + the Tables 2–4 hardware defaults."""
+    rng = as_generator(rng)
     xmin, ymin, xmax, ymax = bounds
     obstacles: list[Polygon] = []
     for i in range(num_obstacles):
@@ -159,3 +201,11 @@ def cluttered_scenario(
         budgets=default_budgets(charger_multiple),
         table=default_coefficients(),
     )
+
+
+# Built-in registry entries: the §6 uniform topology, the downsized test
+# instance, and the cluttered family above.  The richer parameterized
+# families live in repro.variation.families on top of these callables.
+register_scenario_generator("cluttered", cluttered_scenario)
+register_scenario_generator("uniform", random_scenario)
+register_scenario_generator("small", small_scenario)

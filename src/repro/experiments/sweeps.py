@@ -23,7 +23,14 @@ from ..core.reuse import CandidateSetCache, use_candidate_cache
 from ..model.network import Scenario
 from .reporting import SeriesTable
 
-__all__ = ["bench_repeats", "budget_sweep", "run_sweep", "DEFAULT_ALGORITHMS"]
+__all__ = [
+    "bench_repeats",
+    "budget_sweep",
+    "run_sweep",
+    "run_family_sweep",
+    "FamilyAxisFactory",
+    "DEFAULT_ALGORITHMS",
+]
 
 #: Paper order of the nine compared algorithms.
 DEFAULT_ALGORITHMS: tuple[str, ...] = (
@@ -139,6 +146,71 @@ def run_sweep(
     for name in algorithms:
         table.add(name, (sums[name] / repeats).tolist())
     return table
+
+
+class FamilyAxisFactory:
+    """Adapt a :mod:`repro.variation` family into a sweep scenario factory.
+
+    ``factory(x, rng)`` builds ``family.build({axis: x, **fixed}, seed)``
+    with the seed drawn from the sweep's per-cell generator, so the
+    engine's reproducibility contract (randomness keyed by the cell's
+    ``SeedSequence``) carries over unchanged.  A module-level class with
+    plain attributes — picklable, so ``workers > 1`` sweeps work.
+    """
+
+    def __init__(self, family: str, axis: str, fixed: Mapping | None = None) -> None:
+        self.family = family
+        self.axis = axis
+        self.fixed = dict(fixed or {})
+
+    def __call__(self, x, rng: np.random.Generator) -> Scenario:
+        from ..variation import get_family  # local: experiments must not hard-import variation
+
+        params = dict(self.fixed)
+        params[self.axis] = x
+        seed = int(rng.integers(0, np.iinfo(np.int64).max))
+        return get_family(self.family).build(params, seed=seed).scenario
+
+
+def run_family_sweep(
+    family: str,
+    axis: str,
+    *,
+    xs: Sequence | None = None,
+    fixed: Mapping | None = None,
+    algorithms: Iterable[str] = DEFAULT_ALGORITHMS,
+    repeats: int = 3,
+    seed: int = 20180816,
+    workers: int | None = None,
+    reuse_candidates: bool = False,
+) -> SeriesTable:
+    """:func:`run_sweep` with a variation family supplying the axis.
+
+    Sweeps the named family parameter along x (defaulting to the axis's
+    declared choices, sorted when homogeneous), holding *fixed* overrides
+    on every other axis.  Each cell's topology is regenerated from the
+    cell seed, so figures over generated workloads inherit the same
+    bit-reproducibility as the built-in ones.
+    """
+    from ..variation import get_family  # local: experiments must not hard-import variation
+
+    fam = get_family(family)
+    spec = fam.spec(axis)
+    if xs is None:
+        try:
+            xs = sorted(spec.choices)
+        except TypeError:  # heterogeneous choice types: keep declared order
+            xs = list(spec.choices)
+    return run_sweep(
+        list(xs),
+        FamilyAxisFactory(family, axis, fixed),
+        algorithms=algorithms,
+        repeats=repeats,
+        seed=seed,
+        x_label=f"{family}.{axis}",
+        workers=workers,
+        reuse_candidates=reuse_candidates,
+    )
 
 
 def budget_sweep(

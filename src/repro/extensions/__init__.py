@@ -9,6 +9,7 @@ from .budgeted import (
 )
 from .fairness import (
     FairnessSolution,
+    fairness_frontier,
     maxmin_placement,
     min_utility,
     proportional_fair_placement,
@@ -30,6 +31,7 @@ __all__ = [
     "RedeploymentPlan",
     "budgeted_placement",
     "cost_matrix",
+    "fairness_frontier",
     "maxmin_placement",
     "min_utility",
     "minimize_max_overhead",

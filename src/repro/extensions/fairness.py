@@ -16,13 +16,24 @@ from typing import Literal, Sequence
 
 import numpy as np
 
-from ..core.placement import CandidateSet
+from ..core.placement import CandidateSet, build_candidate_set
 from ..model.entities import Strategy
 from ..model.network import Scenario
 from ..opt.heuristics import ant_colony, particle_swarm, simulated_annealing
-from ..opt.submodular import ProportionalFairnessObjective, greedy_matroid
+from ..opt.submodular import (
+    ChargingUtilityObjective,
+    ProportionalFairnessObjective,
+    greedy_matroid,
+)
 
-__all__ = ["FairnessSolution", "maxmin_placement", "proportional_fair_placement", "min_utility", "utilities_of"]
+__all__ = [
+    "FairnessSolution",
+    "fairness_frontier",
+    "maxmin_placement",
+    "proportional_fair_placement",
+    "min_utility",
+    "utilities_of",
+]
 
 
 def utilities_of(scenario: Scenario, candidates: CandidateSet, indices: Sequence[int]) -> np.ndarray:
@@ -97,3 +108,58 @@ def proportional_fair_placement(scenario: Scenario, candidates: CandidateSet) ->
     objective = ProportionalFairnessObjective(candidates.approx_power, ev.thresholds)
     result = greedy_matroid(objective, candidates.matroid())
     return _to_solution(scenario, candidates, result.indices)
+
+
+def fairness_frontier(
+    *,
+    family: str = "fairness",
+    count: int = 8,
+    seed: int = 0,
+    eps: float = 0.3,
+    rng: np.random.Generator | None = None,
+    maxmin_iterations: int = 400,
+) -> list[dict]:
+    """Utility-vs-fairness frontier over a generated scenario family.
+
+    Sweeps *count* instances of a :mod:`repro.variation` family (default:
+    the ``fairness`` stress family — a served cluster plus a walled-off
+    starved cluster) and, on each instance's shared PDCS candidate set,
+    compares the utilitarian greedy against proportional fairness (and,
+    when *rng* is given, the max-min SA metaheuristic).  One extraction
+    per scenario serves every objective, so rows differ only in selection.
+
+    Returns one row per scenario: the provenance stamp plus per-method
+    ``{"min": min utility, "mean": mean utility}`` — the frontier data
+    behind the §8.3 discussion (utilitarian placements starve the walled
+    cluster; fair objectives trade mean for min).
+    """
+    from ..variation import case_seed, get_family  # local: keep extensions import-light
+
+    fam = get_family(family)
+    rows: list[dict] = []
+    for i in range(count):
+        varied = fam.build(seed=case_seed(seed, i))
+        scenario = varied.scenario
+        candidates = build_candidate_set(scenario, eps=eps, workers=1)
+        ev = scenario.evaluator()
+        methods: dict[str, FairnessSolution] = {}
+        greedy = greedy_matroid(
+            ChargingUtilityObjective(candidates.approx_power, ev.thresholds),
+            candidates.matroid(),
+        )
+        methods["greedy"] = _to_solution(scenario, candidates, greedy.indices)
+        methods["proportional"] = proportional_fair_placement(scenario, candidates)
+        if rng is not None:
+            methods["maxmin"] = maxmin_placement(
+                scenario, candidates, rng, method="sa", iterations=maxmin_iterations
+            )
+        rows.append(
+            {
+                "provenance": varied.provenance(),
+                "methods": {
+                    name: {"min": sol.min_utility, "mean": sol.mean_utility}
+                    for name, sol in methods.items()
+                },
+            }
+        )
+    return rows

@@ -1,0 +1,73 @@
+"""Scenario-diversity engine with property-based differential testing.
+
+The solver pipeline is deterministic, so the cheapest way to gain
+confidence in it is to feed it *many, structurally different* instances
+and check properties that must hold on every one.  This package does
+exactly that, in three layers:
+
+1. **families** (:mod:`.families`) — declarative, seedable scenario
+   families: named parameter spaces (field size, obstacle count/shape,
+   device clustering, charger mix, budgets) whose builders are pure
+   functions of ``(params, seed)``.  Shipped families: ``cluttered``,
+   ``corridor``, ``sparse``, ``kcoverage``, ``fairness``.
+2. **strategies** (:mod:`.strategies`) — how a space is explored: full
+   grids, latin-hypercube-style stratified draws, and adversarial
+   mutation (nudge an obstacle until a sight line flips, shrink a budget
+   until a device drops, jitter a device within free space).  Every
+   produced scenario carries a reproducible ``(family, params, seed)``
+   provenance stamp.
+3. **differential harness** (:mod:`.diff`, ``repro vary`` /
+   ``python -m repro.variation``) — per-scenario solver invariants
+   (:mod:`.invariants`): budget monotonicity, obstacle blocking, the 1/2
+   approximation bound vs brute force, warm-vs-cold cache byte-equality,
+   and cross-backend/sweep-path byte-equality.  Violations are shrunk
+   (:mod:`.shrink`) to a minimal failing scenario and dumped as a
+   replayable repro file (:mod:`.repro_files`).
+
+Everything in this package must stay a pure function of explicit inputs —
+no wall clock, no unseeded RNG, no environment reads (lint rule VAR801) —
+so that any reported violation replays bit-for-bit from its stamp.
+"""
+
+from .diff import DiffConfig, DiffReport, Finding, run_differential
+from .families import (
+    FAMILIES,
+    ParamSpec,
+    ScenarioFamily,
+    VariedScenario,
+    family_names,
+    get_family,
+    register_family,
+)
+from .invariants import INVARIANTS, InvariantContext, InvariantViolation, check_invariant
+from .repro_files import REPRO_SCHEMA, dump_repro, load_repro, replay_repro
+from .shrink import shrink_failure
+from .strategies import STRATEGIES, case_seed, generate_corpus, grid_cases, random_cases
+
+__all__ = [
+    "DiffConfig",
+    "DiffReport",
+    "FAMILIES",
+    "Finding",
+    "INVARIANTS",
+    "InvariantContext",
+    "InvariantViolation",
+    "ParamSpec",
+    "REPRO_SCHEMA",
+    "STRATEGIES",
+    "ScenarioFamily",
+    "VariedScenario",
+    "case_seed",
+    "check_invariant",
+    "dump_repro",
+    "family_names",
+    "generate_corpus",
+    "get_family",
+    "grid_cases",
+    "load_repro",
+    "random_cases",
+    "register_family",
+    "replay_repro",
+    "run_differential",
+    "shrink_failure",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.variation`` — the differential-testing CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main(prog="python -m repro.variation"))

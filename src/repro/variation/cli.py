@@ -1,0 +1,143 @@
+"""Command-line front end: ``repro vary`` / ``python -m repro.variation``.
+
+Exit codes: ``0`` — all checks passed (or listing mode); ``1`` — at least
+one invariant violation (repro-file paths are printed); ``2`` — usage
+errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..io import canonical_json
+from .diff import DiffConfig, run_differential
+from .families import FAMILIES
+from .invariants import INVARIANTS, InvariantContext
+from .repro_files import replay_repro
+from .strategies import STRATEGIES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser(prog: str = "repro vary") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="scenario-diversity differential testing (docs/variation.md)",
+    )
+    parser.add_argument(
+        "--families",
+        type=str,
+        default="all",
+        metavar="NAMES",
+        help="comma-separated family names, or 'all' (default)",
+    )
+    parser.add_argument("--budget", type=int, default=100, help="scenarios to generate")
+    parser.add_argument("--seed", type=int, default=0, help="corpus seed")
+    parser.add_argument("--eps", type=float, default=0.3, help="solver eps for all checks")
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="mixed", help="exploration strategy"
+    )
+    parser.add_argument(
+        "--invariants",
+        type=str,
+        default="all",
+        metavar="NAMES",
+        help="comma-separated invariant names, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--no-rotate",
+        action="store_true",
+        help="run every invariant on every scenario (default: round-robin rotation)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="vary-repros",
+        metavar="DIR",
+        help="directory for violation repro files (default: vary-repros)",
+    )
+    parser.add_argument(
+        "--shrink-evals", type=int, default=40, help="solver probes allowed per shrink"
+    )
+    parser.add_argument("--json", action="store_true", help="print the machine-readable report")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="re-run the failing check of a repro file and exit",
+    )
+    parser.add_argument(
+        "--list-families", action="store_true", help="print the family catalog and exit"
+    )
+    parser.add_argument(
+        "--list-invariants", action="store_true", help="print the invariant catalog and exit"
+    )
+    return parser
+
+
+def _split(spec: str, catalog: dict) -> tuple[str, ...]:
+    if spec.strip().lower() == "all":
+        return tuple(catalog)
+    return tuple(name.strip() for name in spec.split(",") if name.strip())
+
+
+def main(argv: list[str] | None = None, prog: str = "repro vary") -> int:
+    args = build_parser(prog).parse_args(argv)
+
+    if args.list_families:
+        for fam in FAMILIES.values():
+            axes = ", ".join(
+                f"{p.name}={list(p.choices)}" for p in fam.params
+            )
+            print(f"{fam.name}: {fam.description}")
+            print(f"    {axes}")
+        return 0
+    if args.list_invariants:
+        for name, fn in INVARIANTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+
+    if args.replay:
+        violation = replay_repro(args.replay, ctx=InvariantContext(eps=args.eps))
+        if violation is None:
+            print(f"{args.replay}: check passes — the recorded violation is fixed")
+            return 0
+        print(f"{args.replay}: still failing [{violation.invariant}] {violation.message}")
+        return 1
+
+    try:
+        config = DiffConfig(
+            families=_split(args.families, FAMILIES),
+            budget=args.budget,
+            seed=args.seed,
+            eps=args.eps,
+            strategy=args.strategy,
+            invariants=_split(args.invariants, INVARIANTS),
+            rotate=not args.no_rotate,
+            out_dir=args.out,
+            shrink_evals=args.shrink_evals,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"{prog}: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet and (done % 50 == 0 or done == total):
+            print(f"{prog}: {done}/{total} scenarios checked", file=sys.stderr)
+
+    try:
+        report = run_differential(config, progress=progress)
+    except KeyError as exc:  # unknown family name surfaces here
+        print(f"{prog}: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    print(canonical_json(report.to_dict()) if args.json else report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(prog="python -m repro.variation"))

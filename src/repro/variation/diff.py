@@ -1,0 +1,204 @@
+"""The differential-testing harness (``repro vary`` / ``python -m
+repro.variation``).
+
+Generates a stamped scenario corpus (:mod:`.strategies`), checks solver
+invariants (:mod:`.invariants`) over it, and — on any violation — shrinks
+the failing scenario (:mod:`.shrink`) and dumps a replayable repro file
+(:mod:`.repro_files`).
+
+Invariants are **rotated** round-robin across the corpus by default: each
+scenario runs one invariant, so a budget of *n* scenarios costs *n* solves
+(plus the invariant's own comparison solves) rather than ``n × invariants``.
+Pass ``rotate=False`` to run every invariant on every scenario.
+
+The whole run is a pure function of its :class:`DiffConfig` — the report,
+including the digest over all provenance stamps, is bit-reproducible, which
+is exactly what the CI smoke asserts by running twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from .families import VariedScenario
+from .invariants import INVARIANTS, InvariantContext, InvariantViolation, check_invariant
+from .repro_files import dump_repro
+from .shrink import shrink_failure
+from .strategies import STRATEGIES, generate_corpus
+
+__all__ = ["DiffConfig", "DiffReport", "Finding", "run_differential"]
+
+#: Schema tag of the machine-readable report (``--json``).
+REPORT_SCHEMA = "repro.variation.report/v1"
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """One differential run, fully determined by these fields."""
+
+    families: tuple[str, ...]
+    budget: int = 100
+    seed: int = 0
+    eps: float = 0.3
+    strategy: str = "mixed"
+    invariants: tuple[str, ...] = tuple(INVARIANTS)
+    rotate: bool = True
+    out_dir: str | None = None
+    shrink_evals: int = 40
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r} (known: {STRATEGIES})")
+        unknown = sorted(set(self.invariants) - set(INVARIANTS))
+        if unknown:
+            raise ValueError(f"unknown invariant(s) {unknown} (known: {tuple(INVARIANTS)})")
+        if not self.invariants:
+            raise ValueError("need at least one invariant")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One falsified invariant: the shrunk scenario + where its repro lives."""
+
+    violation: InvariantViolation
+    varied: VariedScenario
+    repro_path: str | None
+    shrink_evals: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "violation": self.violation.to_dict(),
+            "provenance": self.varied.provenance(),
+            "repro_path": self.repro_path,
+            "shrink_evals": self.shrink_evals,
+        }
+
+
+@dataclass
+class DiffReport:
+    """The outcome of one differential run."""
+
+    config: DiffConfig
+    scenarios: int = 0
+    distinct_scenarios: int = 0
+    families_seen: dict[str, int] = field(default_factory=dict)
+    checks: dict[str, int] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    stamps_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "config": {
+                "families": list(self.config.families),
+                "budget": self.config.budget,
+                "seed": self.config.seed,
+                "eps": self.config.eps,
+                "strategy": self.config.strategy,
+                "invariants": list(self.config.invariants),
+                "rotate": self.config.rotate,
+            },
+            "scenarios": self.scenarios,
+            "distinct_scenarios": self.distinct_scenarios,
+            "families_seen": dict(sorted(self.families_seen.items())),
+            "checks": dict(sorted(self.checks.items())),
+            "violations": [f.to_dict() for f in self.findings],
+            "stamps_digest": self.stamps_digest,
+            "ok": self.ok,
+        }
+
+    def format(self) -> str:
+        """Human-readable summary (the CLI's default output)."""
+        lines = [
+            f"repro.variation: {self.scenarios} scenarios "
+            f"({self.distinct_scenarios} distinct) across "
+            f"{len(self.families_seen)} families "
+            f"[seed={self.config.seed} strategy={self.config.strategy} eps={self.config.eps}]",
+        ]
+        fams = "  ".join(f"{name}:{n}" for name, n in sorted(self.families_seen.items()))
+        lines.append(f"  families  {fams}")
+        checks = "  ".join(f"{name}:{n}" for name, n in sorted(self.checks.items()))
+        lines.append(f"  checks    {checks}")
+        lines.append(f"  stamps    {self.stamps_digest[:16]}")
+        if self.ok:
+            lines.append("  OK — no invariant violations")
+        else:
+            lines.append(f"  {len(self.findings)} VIOLATION(S):")
+            for f in self.findings:
+                prov = f.varied.provenance()
+                lines.append(
+                    f"    [{f.violation.invariant}] {f.violation.message} "
+                    f"(family={prov['family']} seed={prov['seed']})"
+                )
+                if f.repro_path:
+                    lines.append(f"      repro: {f.repro_path}")
+        return "\n".join(lines)
+
+
+def run_differential(
+    config: DiffConfig,
+    *,
+    ctx: InvariantContext | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> DiffReport:
+    """Run the harness: generate, check, shrink, dump, report.
+
+    *ctx* overrides the invariant context (the bug-injection tests pass
+    one with a broken solver shim); *progress* is called as
+    ``progress(done, total)`` after each scenario.
+    """
+    if ctx is None:
+        ctx = InvariantContext(eps=config.eps)
+    corpus = generate_corpus(
+        config.families, budget=config.budget, seed=config.seed, strategy=config.strategy
+    )
+    report = DiffReport(config=config)
+    report.scenarios = len(corpus)
+    digest = hashlib.sha256()
+    hashes: set[str] = set()
+    for i, varied in enumerate(corpus):
+        digest.update(varied.stamp().encode("utf-8"))
+        hashes.add(varied.scenario_hash())
+        report.families_seen[varied.family] = report.families_seen.get(varied.family, 0) + 1
+        if config.rotate:
+            names = (config.invariants[i % len(config.invariants)],)
+        else:
+            names = config.invariants
+        for name in names:
+            report.checks[name] = report.checks.get(name, 0) + 1
+            violation = check_invariant(name, varied, ctx)
+            if violation is None:
+                continue
+            minimal, shrunk_violation, evals = shrink_failure(
+                varied, name, ctx, max_evals=config.shrink_evals
+            )
+            if shrunk_violation is None:  # shrink lost the failure; keep the original
+                minimal, shrunk_violation, evals = varied, violation, 1
+            repro_path: str | None = None
+            if config.out_dir is not None:
+                path = Path(config.out_dir) / (
+                    f"violation-{len(report.findings):03d}-{name}.json"
+                )
+                repro_path = str(dump_repro(path, minimal, shrunk_violation, ctx))
+            report.findings.append(
+                Finding(
+                    violation=shrunk_violation,
+                    varied=minimal,
+                    repro_path=repro_path,
+                    shrink_evals=evals,
+                )
+            )
+        if progress is not None:
+            progress(i + 1, len(corpus))
+    report.distinct_scenarios = len(hashes)
+    report.stamps_digest = digest.hexdigest()
+    return report

@@ -1,0 +1,487 @@
+"""Declarative, seedable scenario families.
+
+A :class:`ScenarioFamily` is a named parameter space plus a builder that is
+a **pure function of** ``(params, seed)`` — no wall clock, no unseeded RNG,
+no ambient environment reads (enforced by lint rule VAR801).  Calling
+:meth:`ScenarioFamily.build` yields a :class:`VariedScenario`: the scenario
+plus a reproducible provenance stamp ``(family, params, seed)`` compatible
+with the ``repro.obs`` provenance blocks, so any generated instance can be
+regenerated bit-for-bit from its stamp alone.
+
+Families shipped here go well beyond the paper's §6 topology (uniform
+devices, two fixed obstacles) and the cluttered family of
+``experiments.generators``:
+
+* ``cluttered``   — random star/convex obstacles + Gaussian device blobs
+  (the existing generator family, parameterized);
+* ``corridor``    — maze-like obstacle courses: parallel walls with doors
+  on alternating sides, devices scattered through the corridors;
+* ``sparse``      — duty-cycle-style sparse fields: few, well-separated
+  devices in a large area under a tight charger budget (arXiv 1508.02303);
+* ``kcoverage``   — k-coverage demand profiles: thresholds calibrated so a
+  device needs ~k simultaneous chargers to reach utility 1 (arXiv
+  1901.09129);
+* ``fairness``    — fairness-stress layouts: a well-served main cluster
+  plus a starved cluster walled off in a corner (arXiv 2004.08520).
+
+Every parameter axis is a *discrete* choice tuple — grids stay enumerable
+and latin-hypercube draws stay exactly reproducible.  Builders accept
+off-grid values too (the adversarial mutators rely on that).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..experiments.generators import cluttered_scenario
+from ..experiments.scenarios import (
+    DEFAULT_THRESHOLD,
+    default_budgets,
+    default_charger_types,
+    default_coefficients,
+    default_device_types,
+)
+from ..geometry import TWO_PI, Polygon, rectangle
+from ..io import canonical_json, canonical_scenario_hash
+from ..model import Device, Scenario
+
+__all__ = [
+    "FAMILIES",
+    "ParamSpec",
+    "ScenarioFamily",
+    "VariedScenario",
+    "family_names",
+    "get_family",
+    "register_family",
+]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One discrete parameter axis of a family's parameter space."""
+
+    name: str
+    choices: tuple[Any, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError(f"parameter {self.name!r} needs at least one choice")
+
+
+@dataclass(frozen=True)
+class VariedScenario:
+    """A generated scenario with its reproducible provenance stamp.
+
+    ``(family, params, seed)`` regenerates the scenario exactly (builders
+    are pure); ``mutations`` records any adversarial edits applied after
+    the build, in order, so mutated instances stay attributable too.
+    """
+
+    family: str
+    params: dict[str, Any]
+    seed: int
+    scenario: Scenario
+    mutations: tuple[str, ...] = ()
+
+    def scenario_hash(self) -> str:
+        """Content address of the generated scenario (repro.io canonical)."""
+        return canonical_scenario_hash(self.scenario)
+
+    def provenance(self) -> dict[str, Any]:
+        """The provenance stamp: plain JSON types, deterministic order."""
+        return {
+            "family": self.family,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+            "seed": self.seed,
+            "mutations": list(self.mutations),
+            "scenario_hash": self.scenario_hash(),
+        }
+
+    def stamp(self) -> str:
+        """Canonical one-line JSON of :meth:`provenance` (diffable)."""
+        return canonical_json(self.provenance())
+
+    def with_scenario(self, scenario: Scenario, mutation: str) -> "VariedScenario":
+        """A mutated copy: same stamp lineage plus one recorded mutation."""
+        return VariedScenario(
+            family=self.family,
+            params=dict(self.params),
+            seed=self.seed,
+            scenario=scenario,
+            mutations=self.mutations + (mutation,),
+        )
+
+
+def _family_stream(name: str, seed: int) -> np.random.Generator:
+    """An RNG stream independent across families for equal seeds."""
+    salt = int.from_bytes(hashlib.sha256(name.encode("utf-8")).digest()[:8], "little")
+    return np.random.default_rng(np.random.SeedSequence((salt, int(seed))))
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named, seedable parameter space over scenarios."""
+
+    name: str
+    description: str
+    params: tuple[ParamSpec, ...]
+    builder: Callable[[dict[str, Any], np.random.Generator], Scenario] = field(repr=False)
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def spec(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"family {self.name!r} has no parameter {name!r}")
+
+    def default_params(self) -> dict[str, Any]:
+        """The first choice of every axis (the family's anchor case)."""
+        return {p.name: p.choices[0] for p in self.params}
+
+    def validate_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Defaults merged with *params*; unknown names raise ``KeyError``."""
+        known = set(self.param_names())
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise KeyError(f"family {self.name!r} has no parameter(s) {unknown}")
+        merged = self.default_params()
+        merged.update(params)
+        return merged
+
+    def build(self, params: Mapping[str, Any] | None = None, *, seed: int = 0) -> VariedScenario:
+        """Generate one instance — a pure function of ``(params, seed)``."""
+        merged = self.validate_params(params or {})
+        rng = _family_stream(self.name, seed)
+        scenario = self.builder(merged, rng)
+        return VariedScenario(family=self.name, params=merged, seed=int(seed), scenario=scenario)
+
+
+#: Registry of every known family, in registration order.
+FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def register_family(family: ScenarioFamily) -> ScenarioFamily:
+    """Add *family* to the registry (replacing any same-named one)."""
+    FAMILIES[family.name] = family
+    return family
+
+
+def family_names() -> list[str]:
+    """Registered family names, in registration order."""
+    return list(FAMILIES)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up a registered family; unknown names raise with the catalog."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        known = ", ".join(FAMILIES)
+        raise KeyError(f"unknown scenario family {name!r} (registered: {known})") from None
+
+
+# ---------------------------------------------------------------------------
+# shared building blocks
+
+
+def _free_point(
+    rng: np.random.Generator,
+    bounds: tuple[float, float, float, float],
+    obstacles: tuple[Polygon, ...],
+    *,
+    margin: float = 0.0,
+) -> tuple[float, float]:
+    """Uniform point in the (margin-shrunk) region outside all obstacles."""
+    xmin, ymin, xmax, ymax = bounds
+    for _ in range(10_000):
+        p = (
+            float(rng.uniform(xmin + margin, xmax - margin)),
+            float(rng.uniform(ymin + margin, ymax - margin)),
+        )
+        if not any(h.contains(p) for h in obstacles):
+            return p
+    raise RuntimeError("could not sample a free point; obstacles fill the region")
+
+
+def _devices_at(
+    rng: np.random.Generator,
+    points: list[tuple[float, float]],
+    *,
+    threshold: float,
+) -> tuple[Device, ...]:
+    """Devices at *points* with random orientations, cycling the Table 3 types."""
+    dtypes = default_device_types()
+    return tuple(
+        Device(p, float(rng.uniform(0.0, TWO_PI)), dtypes[k % len(dtypes)], threshold)
+        for k, p in enumerate(points)
+    )
+
+
+def _assemble(
+    bounds: tuple[float, float, float, float],
+    devices: tuple[Device, ...],
+    obstacles: tuple[Polygon, ...],
+    budgets: dict[str, int],
+) -> Scenario:
+    return Scenario(
+        bounds=bounds,
+        devices=devices,
+        obstacles=obstacles,
+        charger_types=tuple(default_charger_types()),
+        budgets=budgets,
+        table=default_coefficients(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# family: cluttered (the existing generator family, parameterized)
+
+
+def _build_cluttered(params: dict[str, Any], rng: np.random.Generator) -> Scenario:
+    size = float(params["size"])
+    return cluttered_scenario(
+        rng,
+        num_obstacles=int(params["num_obstacles"]),
+        clusters=int(params["clusters"]),
+        per_cluster=int(params["per_cluster"]),
+        charger_multiple=int(params["charger_multiple"]),
+        bounds=(0.0, 0.0, size, size),
+        threshold=float(params["threshold"]),
+    )
+
+
+register_family(
+    ScenarioFamily(
+        name="cluttered",
+        description="random star/convex obstacles + clustered device blobs",
+        params=(
+            ParamSpec("size", (24.0, 18.0, 32.0), "square field edge length (m)"),
+            ParamSpec("num_obstacles", (3, 2, 5), "random obstacle count"),
+            ParamSpec("clusters", (2, 3), "device hotspot count"),
+            ParamSpec("per_cluster", (2, 3), "devices per hotspot"),
+            ParamSpec("charger_multiple", (1, 2), "budget multiple of Table 2 counts"),
+            ParamSpec("threshold", (DEFAULT_THRESHOLD,), "device power threshold"),
+        ),
+        builder=_build_cluttered,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# family: corridor (maze-like obstacle courses)
+
+
+def _build_corridor(params: dict[str, Any], rng: np.random.Generator) -> Scenario:
+    size = float(params["size"])
+    walls = int(params["walls"])
+    gap = float(params["gap"])
+    n_devices = int(params["devices"])
+    thickness = 1.0
+    bounds = (0.0, 0.0, size, size)
+    obstacles: list[Polygon] = []
+    # Vertical walls at equal spacing; each leaves a door of height *gap*
+    # alternating between the bottom and the top of the field, so the free
+    # space is one serpentine corridor.
+    for i in range(walls):
+        x = size * (i + 1) / (walls + 1) - thickness / 2.0
+        if i % 2 == 0:
+            obstacles.append(rectangle(x, gap, x + thickness, size))
+        else:
+            obstacles.append(rectangle(x, 0.0, x + thickness, size - gap))
+    obs = tuple(obstacles)
+    points = [_free_point(rng, bounds, obs, margin=0.5) for _ in range(n_devices)]
+    devices = _devices_at(rng, points, threshold=float(params["threshold"]))
+    budgets = default_budgets(int(params["charger_multiple"]))
+    return _assemble(bounds, devices, obs, budgets)
+
+
+register_family(
+    ScenarioFamily(
+        name="corridor",
+        description="serpentine corridor courses: parallel walls with alternating doors",
+        params=(
+            ParamSpec("size", (20.0, 28.0), "square field edge length (m)"),
+            ParamSpec("walls", (2, 3, 4), "number of internal walls"),
+            ParamSpec("gap", (3.0, 4.5), "door height left by each wall (m)"),
+            ParamSpec("devices", (5, 3, 8), "device count"),
+            ParamSpec("charger_multiple", (1, 2), "budget multiple of Table 2 counts"),
+            ParamSpec("threshold", (DEFAULT_THRESHOLD,), "device power threshold"),
+        ),
+        builder=_build_corridor,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# family: sparse (duty-cycle-style sparse fields)
+
+
+def _build_sparse(params: dict[str, Any], rng: np.random.Generator) -> Scenario:
+    size = float(params["size"])
+    n_devices = int(params["devices"])
+    min_sep = float(params["min_sep"])
+    bounds = (0.0, 0.0, size, size)
+    obstacles: tuple[Polygon, ...] = ()
+    if int(params["with_obstacle"]):
+        c = size / 2.0
+        obstacles = (rectangle(c - 1.5, c - 1.5, c + 1.5, c + 1.5),)
+    # Poisson-disk-style spacing: rejection-sample until every pair is at
+    # least min_sep apart (relaxing the separation if the draw budget runs
+    # out keeps the builder total for any parameter combination).
+    points: list[tuple[float, float]] = []
+    sep = min_sep
+    attempts = 0
+    while len(points) < n_devices:
+        p = _free_point(rng, bounds, obstacles, margin=0.5)
+        attempts += 1
+        if all(math.hypot(p[0] - q[0], p[1] - q[1]) >= sep for q in points):
+            points.append(p)
+        elif attempts > 200 * n_devices:
+            sep *= 0.5
+            attempts = 0
+    devices = _devices_at(rng, points, threshold=float(params["threshold"]))
+    budgets = default_budgets(int(params["charger_multiple"]))
+    return _assemble(bounds, devices, obstacles, budgets)
+
+
+register_family(
+    ScenarioFamily(
+        name="sparse",
+        description="duty-cycle-style sparse fields: few, well-separated devices",
+        params=(
+            ParamSpec("size", (30.0, 40.0), "square field edge length (m)"),
+            ParamSpec("devices", (4, 6, 8), "device count"),
+            ParamSpec("min_sep", (6.0, 9.0), "minimum device separation (m)"),
+            ParamSpec("with_obstacle", (0, 1), "place one central obstacle"),
+            ParamSpec("charger_multiple", (1,), "budget multiple of Table 2 counts"),
+            ParamSpec("threshold", (0.02, DEFAULT_THRESHOLD), "device power threshold"),
+        ),
+        builder=_build_sparse,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# family: kcoverage (k-coverage demand profiles)
+
+
+def _kcoverage_threshold(k: int) -> float:
+    """A threshold needing ~k simultaneous mid-range chargers to satisfy.
+
+    Reference power: the charger-3/device-1 pairing at the middle of the
+    charger-3 ring — ``a / (d + b)^2`` with Table 2/4 values, a pure
+    arithmetic function of the hardware defaults.
+    """
+    ct = default_charger_types()[2]
+    a = 100.0 + 10.0 * 2  # charger-3 / device-1 coefficient (Table 4)
+    b = 0.4 * a
+    d = (ct.dmin + ct.dmax) / 2.0
+    return k * a / (d + b) ** 2
+
+
+def _build_kcoverage(params: dict[str, Any], rng: np.random.Generator) -> Scenario:
+    size = float(params["size"])
+    k = int(params["k"])
+    n_devices = int(params["devices"])
+    bounds = (0.0, 0.0, size, size)
+    obstacles: tuple[Polygon, ...] = ()
+    if int(params["with_obstacle"]):
+        obstacles = (rectangle(size * 0.55, size * 0.2, size * 0.7, size * 0.45),)
+    # A demand hotspot: devices in a tight blob so k-coverage forces several
+    # chargers to stack their sectors on the same region.
+    cx = float(rng.uniform(size * 0.3, size * 0.7))
+    cy = float(rng.uniform(size * 0.3, size * 0.7))
+    points: list[tuple[float, float]] = []
+    while len(points) < n_devices:
+        p = (float(rng.normal(cx, size * 0.08)), float(rng.normal(cy, size * 0.08)))
+        if (
+            bounds[0] + 0.5 <= p[0] <= bounds[2] - 0.5
+            and bounds[1] + 0.5 <= p[1] <= bounds[3] - 0.5
+            and not any(h.contains(p) for h in obstacles)
+        ):
+            points.append(p)
+    devices = _devices_at(rng, points, threshold=_kcoverage_threshold(k))
+    # Budgets scale with k so satisfying the stacked demand stays feasible.
+    budgets = {name: count * k for name, count in default_budgets(1).items()}
+    return _assemble(bounds, devices, obstacles, budgets)
+
+
+register_family(
+    ScenarioFamily(
+        name="kcoverage",
+        description="k-coverage demand: thresholds needing ~k stacked chargers",
+        params=(
+            ParamSpec("k", (2, 1, 3), "coverage multiplicity"),
+            ParamSpec("devices", (4, 6), "device count"),
+            ParamSpec("size", (18.0, 24.0), "square field edge length (m)"),
+            ParamSpec("with_obstacle", (0, 1), "place one obstacle near the hotspot"),
+        ),
+        builder=_build_kcoverage,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# family: fairness (one starved cluster)
+
+
+def _build_fairness(params: dict[str, Any], rng: np.random.Generator) -> Scenario:
+    size = float(params["size"])
+    n_main = int(params["main_devices"])
+    n_starved = int(params["starved_devices"])
+    wall = float(params["wall_len"])
+    bounds = (0.0, 0.0, size, size)
+    # An L-shaped wall sealing off the far corner except for a narrow slit:
+    # devices behind it are hard to serve, stressing fairness objectives.
+    corner = size
+    thickness = 1.0
+    obstacles = (
+        rectangle(corner - wall, corner - wall - thickness, corner - 1.5, corner - wall),
+        rectangle(corner - wall - thickness, corner - wall, corner - wall, corner - 1.5),
+    )
+    main_pts: list[tuple[float, float]] = []
+    while len(main_pts) < n_main:
+        p = (
+            float(rng.normal(size * 0.35, size * 0.12)),
+            float(rng.normal(size * 0.35, size * 0.12)),
+        )
+        if 0.5 <= p[0] <= size - 0.5 and 0.5 <= p[1] <= size - 0.5 and not any(
+            h.contains(p) for h in obstacles
+        ):
+            main_pts.append(p)
+    starved_pts: list[tuple[float, float]] = []
+    lo = corner - wall + thickness
+    while len(starved_pts) < n_starved:
+        p = (float(rng.uniform(lo, size - 0.5)), float(rng.uniform(lo, size - 0.5)))
+        if not any(h.contains(p) for h in obstacles):
+            starved_pts.append(p)
+    devices = _devices_at(
+        rng, main_pts + starved_pts, threshold=float(params["threshold"])
+    )
+    budgets = default_budgets(int(params["charger_multiple"]))
+    return _assemble(bounds, devices, obstacles, budgets)
+
+
+register_family(
+    ScenarioFamily(
+        name="fairness",
+        description="fairness stress: a served main cluster + a walled-off starved cluster",
+        params=(
+            ParamSpec("size", (22.0, 28.0), "square field edge length (m)"),
+            ParamSpec("main_devices", (5, 3), "devices in the main cluster"),
+            ParamSpec("starved_devices", (2, 1), "devices behind the wall"),
+            ParamSpec("wall_len", (7.0, 10.0), "length of each wall arm (m)"),
+            ParamSpec("charger_multiple", (1, 2), "budget multiple of Table 2 counts"),
+            ParamSpec("threshold", (DEFAULT_THRESHOLD,), "device power threshold"),
+        ),
+        builder=_build_fairness,
+    )
+)

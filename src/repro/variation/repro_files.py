@@ -1,0 +1,102 @@
+"""Replayable repro files for invariant violations.
+
+When the differential harness falsifies an invariant, it shrinks the
+scenario (:mod:`.shrink`) and dumps a **repro file**: one JSON document
+holding the provenance stamp, the violated invariant with its evidence,
+the harness configuration, and the full serialized scenario.  The
+scenario is embedded (not just the stamp) so a repro replays bit-for-bit
+even if a family's builder later changes — the stamp stays as the
+human-readable lineage.
+
+Triage loop (see ``docs/variation.md``):
+
+1. ``repro vary --replay path/to/violation.json`` re-runs exactly the
+   failing check on the embedded scenario — exit 1 while the bug lives,
+   exit 0 once fixed;
+2. the ``provenance`` block regenerates the *unshrunk* ancestor via
+   ``family.build(params, seed=seed)`` when more context is needed;
+3. fixed repros graduate to regression fixtures by committing the file
+   and replaying it in a test.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..io import canonical_json, scenario_from_dict, scenario_to_dict
+from .families import VariedScenario
+from .invariants import InvariantContext, InvariantViolation, check_invariant
+
+__all__ = ["REPRO_SCHEMA", "dump_repro", "load_repro", "replay_repro", "repro_dict"]
+
+#: Schema tag stamped into (and required of) every repro file.
+REPRO_SCHEMA = "repro.variation/v1"
+
+
+def repro_dict(
+    varied: VariedScenario, violation: InvariantViolation, ctx: InvariantContext
+) -> dict[str, Any]:
+    """The repro-file document for one violation (plain JSON types)."""
+    return {
+        "schema": REPRO_SCHEMA,
+        "provenance": varied.provenance(),
+        "violation": violation.to_dict(),
+        "config": {"eps": ctx.eps, "tol": ctx.tol},
+        "scenario": scenario_to_dict(varied.scenario),
+    }
+
+
+def dump_repro(
+    path: str | Path,
+    varied: VariedScenario,
+    violation: InvariantViolation,
+    ctx: InvariantContext,
+) -> Path:
+    """Write the violation's repro file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(repro_dict(varied, violation, ctx)) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> dict[str, Any]:
+    """Parse and schema-check a repro file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if data.get("schema") != REPRO_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {REPRO_SCHEMA} repro file (schema={data.get('schema')!r})"
+        )
+    for key in ("provenance", "violation", "config", "scenario"):
+        if key not in data:
+            raise ValueError(f"{path}: missing required field {key!r}")
+    return data
+
+
+def replay_repro(
+    path: str | Path, *, ctx: InvariantContext | None = None
+) -> InvariantViolation | None:
+    """Re-run exactly the failing check of a repro file.
+
+    Rebuilds the embedded scenario, restores the recorded harness config
+    (unless an explicit *ctx* overrides it — e.g. to inject a fixed or
+    instrumented solver) and runs the recorded invariant.  Returns the
+    fresh violation while the bug is alive, ``None`` once it is fixed.
+    """
+    data = load_repro(path)
+    scenario, _ = scenario_from_dict(data["scenario"])
+    prov = data["provenance"]
+    varied = VariedScenario(
+        family=str(prov.get("family", "replay")),
+        params=dict(prov.get("params", {})),
+        seed=int(prov.get("seed", 0)),
+        scenario=scenario,
+        mutations=tuple(prov.get("mutations", ())),
+    )
+    if ctx is None:
+        cfg = data["config"]
+        ctx = InvariantContext(eps=float(cfg.get("eps", 0.3)), tol=float(cfg.get("tol", 1e-9)))
+    return check_invariant(str(data["violation"]["invariant"]), varied, ctx)

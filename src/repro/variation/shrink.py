@@ -1,0 +1,96 @@
+"""Failure shrinking: reduce a violating scenario to a minimal one.
+
+A ddmin-style greedy reducer: given a scenario that falsifies an invariant,
+repeatedly try structurally smaller variants — halve the device population,
+drop obstacles one at a time, halve per-type budgets, drop charger types —
+keeping any variant that still fails, until no reduction helps or the
+evaluation budget runs out.  Every accepted reduction is recorded on the
+:class:`~repro.variation.families.VariedScenario` mutation trail, so the
+minimized instance still replays from its repro file alone.
+
+Shrinking is bounded (``max_evals``) because each probe is a full solver
+run; the default cap keeps worst-case shrink time near a second on the
+family-sized instances the harness generates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..model import Scenario
+from .families import VariedScenario
+from .invariants import InvariantContext, InvariantViolation, check_invariant
+
+__all__ = ["shrink_failure"]
+
+
+def _reductions(scenario: Scenario) -> Iterator[tuple[Scenario, str]]:
+    """Candidate one-step reductions, most aggressive first."""
+    n = len(scenario.devices)
+    if n > 1:
+        half = n // 2
+        yield scenario.with_devices(scenario.devices[:half]), f"shrink:devices[:{half}]"
+        yield scenario.with_devices(scenario.devices[half:]), f"shrink:devices[{half}:]"
+        yield scenario.with_devices(scenario.devices[:-1]), f"shrink:devices[:{n - 1}]"
+    for i in range(len(scenario.obstacles)):
+        reduced = scenario.obstacles[:i] + scenario.obstacles[i + 1 :]
+        yield (
+            type(scenario)(
+                bounds=scenario.bounds,
+                devices=scenario.devices,
+                obstacles=reduced,
+                charger_types=scenario.charger_types,
+                budgets=dict(scenario.budgets),
+                table=scenario.table,
+            ),
+            f"shrink:drop_obstacle[{i}]",
+        )
+    for name, count in scenario.budgets.items():
+        if count > 1:
+            budgets = dict(scenario.budgets)
+            budgets[name] = count // 2
+            yield scenario.with_budgets(budgets), f"shrink:halve_budget[{name}]"
+    if len(scenario.budgets) > 1:
+        for name in scenario.budgets:
+            budgets = {k: v for k, v in scenario.budgets.items() if k != name}
+            yield scenario.with_budgets(budgets), f"shrink:drop_type[{name}]"
+
+
+def shrink_failure(
+    varied: VariedScenario,
+    invariant: str,
+    ctx: InvariantContext,
+    *,
+    max_evals: int = 40,
+) -> tuple[VariedScenario, InvariantViolation | None, int]:
+    """Greedily minimize a failing scenario.
+
+    Returns ``(minimal, violation, evals)`` — the smallest variant still
+    failing *invariant*, the violation it produced, and how many solver
+    probes were spent.  If *varied* does not actually fail (the caller
+    raced, or the failure was flaky — which stamped determinism should
+    preclude), returns ``(varied, None, 1)`` unchanged.
+    """
+    violation = check_invariant(invariant, varied, ctx)
+    evals = 1
+    if violation is None:
+        return varied, None, evals
+    current = varied
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for reduced_scenario, tag in _reductions(current.scenario):
+            if evals >= max_evals:
+                break
+            candidate = current.with_scenario(reduced_scenario, tag)
+            try:
+                probe = check_invariant(invariant, candidate, ctx)
+            except Exception:  # reduction produced an unsolvable instance
+                evals += 1
+                continue
+            evals += 1
+            if probe is not None:
+                current, violation = candidate, probe
+                progress = True
+                break
+    return current, violation, evals

@@ -1,0 +1,111 @@
+"""VAR801: variation purity — good and bad fixtures, plus scoping."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+def test_var801_fires_on_every_impurity(lint_tree):
+    result = lint_tree(
+        {
+            "variation/bad.py": """\
+    import os
+    import random
+    import time
+
+    import numpy as np
+
+    def build(params, seed):
+        t = time.time()
+        stamp = time.perf_counter()
+        x = random.random()
+        y = np.random.rand(3)
+        home = os.environ["HOME"]
+        cfg = os.environ.get("CFG")
+        z = os.getenv("Z")
+        return t, stamp, x, y, home, cfg, z
+    """
+        },
+        select=["VAR801"],
+    )
+    assert rule_ids(result) == ["VAR801"] * 7
+
+
+def test_var801_fires_on_datetime_now(lint_tree):
+    result = lint_tree(
+        {
+            "variation/stamped.py": """\
+    from datetime import datetime
+
+    def stamp():
+        return datetime.now().isoformat()
+    """
+        },
+        select=["VAR801"],
+    )
+    assert rule_ids(result) == ["VAR801"]
+
+
+def test_var801_clean_on_pure_builder(lint_tree):
+    result = lint_tree(
+        {
+            "variation/good.py": """\
+    import numpy as np
+
+    def build(params: dict, seed: int):
+        rng = np.random.default_rng(np.random.SeedSequence((7, seed)))
+        return rng.uniform(0.0, float(params["size"]))
+    """
+        },
+        select=["VAR801"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_var801_scoped_to_variation_only(lint_tree):
+    # The same impure reads outside variation/ are DET territory, not VAR801.
+    result = lint_tree(
+        {
+            "obs/clock.py": """\
+    import os
+    import time
+
+    def snapshot():
+        return time.perf_counter(), os.environ.get("HOME")
+    """
+        },
+        select=["VAR801"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_var801_noqa_suppression(lint_tree):
+    result = lint_tree(
+        {
+            "variation/escape.py": """\
+    import os
+
+    def knob():
+        return os.getenv("REPRO_KNOB")  # repro: noqa[VAR801]
+    """
+        },
+        select=["VAR801"],
+    )
+    assert rule_ids(result) == []
+
+
+def test_det101_covers_generator_modules(lint_tree):
+    result = lint_tree(
+        {
+            "experiments/generators.py": """\
+    import numpy as np
+
+    def sloppy():
+        return np.random.rand()
+    """
+        },
+        select=["DET101"],
+    )
+    assert rule_ids(result) == ["DET101"]

@@ -1,10 +1,10 @@
 """Helpers shared by the backend test modules.
 
-``PyLoopBackend`` is the numba backend *without* compilation: the same
-scalar-loop kernel bodies running as plain Python.  It exists so the numba
-kernel logic is exercised against the numpy oracle on every machine — when
-numba is installed, the compiled backend is additionally tested (same
-bodies, compiled).
+``PyLoopBackend`` (now shipped in :mod:`repro.backend.pyloop_backend`) is
+the numba backend *without* compilation: the same scalar-loop kernel bodies
+running as plain Python.  It lets the numba kernel logic be exercised
+against the numpy oracle on every machine — when numba is installed, the
+compiled backend is additionally tested (same bodies, compiled).
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ from repro import backend as backend_pkg
 from repro.backend import KernelBackend, register_backend
 from repro.backend.numba_backend import NumbaBackend
 from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.pyloop_backend import PyLoopBackend
 from repro.geometry import rectangle
 from repro.model import (
     ChargerType,
@@ -26,21 +27,6 @@ from repro.model import (
     PairCoefficients,
     Scenario,
 )
-
-
-class PyLoopBackend(NumbaBackend):
-    """Uncompiled numba kernels — always available, never auto-selected."""
-
-    name = "pyloop"
-    priority = -100
-    selectable = False
-
-    def available(self) -> bool:
-        return True
-
-    def load(self) -> None:
-        # Keep the plain-Python kernel bodies installed by __init__.
-        pass
 
 
 def alternative_backends() -> list[KernelBackend]:
@@ -54,12 +40,13 @@ def alternative_backends() -> list[KernelBackend]:
 
 @pytest.fixture
 def pyloop_registered():
-    """Register the pyloop backend for the duration of one test."""
+    """The pyloop backend (now package-registered) under a fresh instance."""
     register_backend(PyLoopBackend())
     try:
         yield "pyloop"
     finally:
-        backend_pkg._REGISTRY.pop("pyloop", None)
+        # Restore a pristine package-level registration for later tests.
+        register_backend(PyLoopBackend())
         backend_pkg._DEFAULT_CACHE.clear()
 
 

@@ -90,3 +90,43 @@ def test_cluttered_scenario_solvable(rng):
     sc = cluttered_scenario(rng, num_obstacles=2, clusters=2, per_cluster=3, charger_multiple=1)
     sol = solve_hipo(sc)
     assert 0.0 <= sol.utility <= 1.0
+
+
+# ----------------------------------------------- seeds and the registry --
+
+
+def test_as_generator_coercions():
+    from repro.experiments.generators import as_generator
+
+    g = as_generator(7)
+    assert isinstance(g, np.random.Generator)
+    # Integer seeds are deterministic shorthand for default_rng(seed).
+    assert as_generator(7).random() == np.random.default_rng(7).random()
+    passthrough = np.random.default_rng(1)
+    assert as_generator(passthrough) is passthrough
+    with pytest.raises(TypeError):
+        as_generator(1.5)
+    with pytest.raises(TypeError):
+        as_generator(True)  # bools are not seeds
+
+
+def test_generators_accept_plain_int_seeds():
+    s1 = cluttered_scenario(99, num_obstacles=2, clusters=2, per_cluster=2)
+    s2 = cluttered_scenario(99, num_obstacles=2, clusters=2, per_cluster=2)
+    assert [d.position for d in s1.devices] == [d.position for d in s2.devices]
+
+
+def test_scenario_generator_registry():
+    from repro.experiments.generators import (
+        register_scenario_generator,
+        scenario_generators,
+    )
+
+    registry = scenario_generators()
+    assert {"cluttered", "uniform", "small"} <= set(registry)
+    assert registry["cluttered"] is cluttered_scenario
+    # The accessor returns a copy: mutating it does not touch the registry.
+    registry["cluttered"] = None
+    assert scenario_generators()["cluttered"] is cluttered_scenario
+    with pytest.raises(ValueError):
+        register_scenario_generator("", cluttered_scenario)

@@ -153,3 +153,57 @@ def test_budget_sweep_matches_cold_solves():
         )
     # Utility is monotone in budget on one topology (more chargers never hurt).
     assert warm[0].utility <= warm[1].utility + 1e-12 <= warm[2].utility + 2e-12
+
+
+# ----------------------------------------------- family-driven sweeps --
+
+
+def test_run_family_sweep_basic():
+    from repro.experiments.sweeps import run_family_sweep
+
+    table = run_family_sweep(
+        "sparse", "devices", xs=[4, 6], algorithms=("HIPO", "RPAD"), repeats=1, seed=5
+    )
+    assert table.x_label == "sparse.devices"
+    assert table.x == [4, 6]
+    assert set(table.series) == {"HIPO", "RPAD"}
+    for values in table.series.values():
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_run_family_sweep_deterministic():
+    from repro.experiments.sweeps import run_family_sweep
+
+    a = run_family_sweep("sparse", "devices", xs=[4], algorithms=("HIPO",), repeats=2, seed=9)
+    b = run_family_sweep("sparse", "devices", xs=[4], algorithms=("HIPO",), repeats=2, seed=9)
+    assert a.series == b.series
+
+
+def test_run_family_sweep_defaults_to_axis_choices():
+    from repro.experiments.sweeps import run_family_sweep
+    from repro.variation import get_family
+
+    table = run_family_sweep("kcoverage", "k", algorithms=("RPAD",), repeats=1, seed=1)
+    assert table.x == sorted(get_family("kcoverage").spec("k").choices)
+
+
+def test_family_axis_factory_is_picklable():
+    import pickle
+
+    from repro.experiments.sweeps import FamilyAxisFactory
+
+    factory = FamilyAxisFactory("sparse", "devices", {"with_obstacle": 0})
+    clone = pickle.loads(pickle.dumps(factory))
+    rng_a = np.random.default_rng(3)
+    rng_b = np.random.default_rng(3)
+    sa = factory(4, rng_a)
+    sb = clone(4, rng_b)
+    assert len(sa.devices) == len(sb.devices) == 4
+    assert [d.position for d in sa.devices] == [d.position for d in sb.devices]
+
+
+def test_run_family_sweep_unknown_axis():
+    from repro.experiments.sweeps import run_family_sweep
+
+    with pytest.raises(KeyError, match="no parameter"):
+        run_family_sweep("sparse", "bogus", algorithms=("RPAD",), repeats=1)

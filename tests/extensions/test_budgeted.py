@@ -167,3 +167,45 @@ def test_multi_base_travel_edge_cases():
 
     with _pytest.raises(ValueError):
         multi_base_travel([], [])
+
+
+# ----------------------------------------------- generated scenarios --
+
+
+def _generated(seed):
+    from repro.variation import get_family
+
+    return get_family("corridor").build({"walls": 2, "devices": 4}, seed=seed).scenario
+
+
+@pytest.mark.parametrize("seed", [101, 202])
+def test_budgeted_on_generated_scenarios_respects_money_budget(seed):
+    sc = _generated(seed)
+    cs = build_candidate_set(sc, eps=0.4)
+    model = DeploymentCostModel(base=(0.0, 0.0))
+    sol = budgeted_placement(sc, cs, 12.0, cost_model=model)
+    # Per-type counts never exceed the scenario's matroid capacities.
+    by_type = {}
+    for s in sol.strategies:
+        by_type[s.ctype.name] = by_type.get(s.ctype.name, 0) + 1
+    for name, n in by_type.items():
+        assert n <= sc.budgets[name]
+    assert 0.0 <= sol.utility <= len(sc.devices)
+
+
+def test_budgeted_utility_monotone_in_budget_on_generated_scenario():
+    sc = _generated(303)
+    cs = build_candidate_set(sc, eps=0.4)
+    utils = [budgeted_placement(sc, cs, b).utility for b in (0.0, 15.0, 60.0, 1e9)]
+    assert utils == sorted(utils)
+    assert budgeted_placement(sc, cs, 0.0).strategies == []
+
+
+def test_budgeted_deterministic_for_pinned_seed():
+    sc1, sc2 = _generated(404), _generated(404)
+    cs1 = build_candidate_set(sc1, eps=0.4)
+    cs2 = build_candidate_set(sc2, eps=0.4)
+    a = budgeted_placement(sc1, cs1, 25.0)
+    b = budgeted_placement(sc2, cs2, 25.0)
+    assert a.strategies == b.strategies
+    assert a.utility == b.utility and a.cost == b.cost

@@ -89,3 +89,34 @@ def test_proportional_vs_utilitarian_minimum():
     cs = build_candidate_set(sc)
     sol = proportional_fair_placement(sc, cs)
     assert sol.min_utility >= 0.0
+
+
+# ----------------------------------------------- frontier over families --
+
+
+def test_fairness_frontier_structure_and_determinism():
+    from repro.extensions import fairness_frontier
+
+    rows = fairness_frontier(count=2, seed=1, eps=0.4)
+    again = fairness_frontier(count=2, seed=1, eps=0.4)
+    assert rows == again
+    assert len(rows) == 2
+    for row in rows:
+        assert row["provenance"]["family"] == "fairness"
+        for name in ("greedy", "proportional"):
+            m = row["methods"][name]
+            assert 0.0 <= m["min"] <= m["mean"] <= 1.0
+
+
+def test_fairness_frontier_with_maxmin(rng):
+    from repro.extensions import fairness_frontier
+
+    rows = fairness_frontier(count=1, seed=2, eps=0.4, rng=rng, maxmin_iterations=60)
+    assert set(rows[0]["methods"]) == {"greedy", "proportional", "maxmin"}
+
+
+def test_fairness_frontier_custom_family():
+    from repro.extensions import fairness_frontier
+
+    rows = fairness_frontier(family="sparse", count=1, seed=3, eps=0.4)
+    assert rows[0]["provenance"]["family"] == "sparse"

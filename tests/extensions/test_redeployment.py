@@ -123,3 +123,49 @@ def test_redeploy_custom_cost_fn():
 def test_empty_plan():
     plan = minimize_max_overhead({})
     assert plan.total_overhead == 0.0 and plan.max_overhead == 0.0
+
+
+# ----------------------------------------------- generated scenarios --
+
+
+def _two_placements(seed):
+    """Two placements of one generated scenario: base and device-perturbed."""
+    from repro.core import solve_hipo
+    from repro.variation import get_family
+    from repro.variation.strategies import perturb_device
+
+    base = get_family("sparse").build({"devices": 4}, seed=seed)
+    moved = perturb_device(base, np.random.default_rng(seed))
+    sol_a = solve_hipo(base.scenario, eps=0.4)
+    sol_b = solve_hipo(moved.scenario, eps=0.4)
+    old, new = {}, {}
+    for sol, out in ((sol_a, old), (sol_b, new)):
+        for s in sol.strategies:
+            out.setdefault(s.ctype.name, []).append(s)
+    # Pair only the per-type counts both placements share.
+    shared = {}
+    for name in set(old) & set(new):
+        k = min(len(old[name]), len(new[name]))
+        if k:
+            shared[name] = (old[name][:k], new[name][:k])
+    return {n: p[0] for n, p in shared.items()}, {n: p[1] for n, p in shared.items()}
+
+
+@pytest.mark.parametrize("seed", [7, 19])
+def test_redeploy_between_generated_placements(seed):
+    old, new = _two_placements(seed)
+    assert old  # solver placed at least one shared type
+    total_plan = redeploy(old, new, objective="total")
+    max_plan = redeploy(old, new, objective="max")
+    # The bottleneck objective can't beat the total objective on sum, and
+    # vice versa on bottleneck.
+    assert total_plan.total_overhead <= max_plan.total_overhead + 1e-9
+    assert max_plan.max_overhead <= total_plan.max_overhead + 1e-9
+    for name, assignment in total_plan.assignments.items():
+        assert sorted(assignment) == list(range(len(old[name])))
+
+
+def test_redeploy_generated_is_deterministic():
+    a = _two_placements(7)
+    b = _two_placements(7)
+    assert redeploy(*a).total_overhead == redeploy(*b).total_overhead

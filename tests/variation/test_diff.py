@@ -1,0 +1,140 @@
+"""The differential harness end to end: reports, bug capture, shrink, replay, CLI."""
+
+import json
+
+import pytest
+
+from repro.core.placement import solve_hipo
+from repro.variation import (
+    DiffConfig,
+    InvariantContext,
+    load_repro,
+    replay_repro,
+    run_differential,
+    shrink_failure,
+    get_family,
+)
+from repro.variation.cli import main as vary_main
+
+FAMS = ("cluttered", "corridor", "sparse", "kcoverage", "fairness")
+
+
+def parity_bug_solver(scenario, **kw):
+    """The canonical injected bug: odd-total budgets report inflated utility."""
+    sol = solve_hipo(scenario, **kw)
+    if sum(scenario.budgets.values()) % 2 == 1:
+        sol.approx_utility = sol.approx_utility * 1.5 + 0.1
+    return sol
+
+
+def test_healthy_run_is_clean_and_deterministic(tmp_path):
+    cfg = DiffConfig(families=FAMS, budget=10, seed=1, eps=0.4, out_dir=str(tmp_path))
+    a = run_differential(cfg)
+    b = run_differential(cfg)
+    assert a.ok and b.ok
+    assert a.scenarios == 10 and a.distinct_scenarios == 10
+    assert set(a.families_seen) == set(FAMS)
+    assert a.stamps_digest == b.stamps_digest
+    assert a.to_dict() == b.to_dict()
+    assert not list(tmp_path.iterdir())  # no repro files on a clean run
+
+
+def test_report_shapes():
+    cfg = DiffConfig(families=("sparse",), budget=3, seed=2, eps=0.4)
+    report = run_differential(cfg)
+    d = report.to_dict()
+    assert d["schema"] == "repro.variation.report/v1"
+    assert d["ok"] is True and d["violations"] == []
+    assert sum(d["checks"].values()) == 3  # rotation: one invariant per scenario
+    text = report.format()
+    assert "OK" in text and "sparse:3" in text
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="budget"):
+        DiffConfig(families=FAMS, budget=0)
+    with pytest.raises(ValueError, match="strategy"):
+        DiffConfig(families=FAMS, strategy="bogus")
+    with pytest.raises(ValueError, match="invariant"):
+        DiffConfig(families=FAMS, invariants=("bogus",))
+
+
+def test_injected_bug_is_caught_shrunk_and_replayable(tmp_path):
+    ctx = InvariantContext(eps=0.4, solver=parity_bug_solver)
+    cfg = DiffConfig(
+        families=("sparse",),
+        budget=2,
+        seed=3,
+        eps=0.4,
+        invariants=("budget_monotone",),
+        out_dir=str(tmp_path),
+    )
+    report = run_differential(cfg, ctx=ctx)
+    assert not report.ok and report.findings
+    finding = report.findings[0]
+    # Shrunk: strictly smaller than any family instance (builders make >= 3 devices).
+    assert len(finding.varied.scenario.devices) <= 2
+    assert any(m.startswith("shrink:") for m in finding.varied.mutations)
+    # The repro file exists, parses, and replays.
+    assert finding.repro_path is not None
+    data = load_repro(finding.repro_path)
+    assert data["violation"]["invariant"] == "budget_monotone"
+    assert data["provenance"]["family"] == "sparse"
+    # Replaying against the buggy solver still fails; against the real
+    # solver (bug "fixed") it passes.
+    assert replay_repro(finding.repro_path, ctx=ctx) is not None
+    assert replay_repro(finding.repro_path) is None
+
+
+def test_shrink_returns_unchanged_on_non_failure():
+    v = get_family("sparse").build(seed=1)
+    minimal, violation, evals = shrink_failure(v, "budget_monotone", InvariantContext(eps=0.4))
+    assert violation is None and evals == 1
+    assert minimal is v
+
+
+def test_cli_clean_run_and_listings(tmp_path, capsys):
+    rc = vary_main(
+        [
+            "--families", "sparse,kcoverage",
+            "--budget", "4",
+            "--seed", "5",
+            "--eps", "0.4",
+            "--out", str(tmp_path),
+            "--quiet",
+            "--json",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True and payload["scenarios"] == 4
+
+    assert vary_main(["--list-families"]) == 0
+    assert vary_main(["--list-invariants"]) == 0
+    listings = capsys.readouterr().out
+    assert "corridor" in listings and "budget_monotone" in listings
+
+
+def test_cli_unknown_family_exits_2(capsys):
+    rc = vary_main(["--families", "bogus", "--budget", "1", "--quiet"])
+    assert rc == 2
+    assert "unknown scenario family" in capsys.readouterr().err
+
+
+def test_cli_replay_roundtrip(tmp_path, capsys):
+    ctx = InvariantContext(eps=0.4, solver=parity_bug_solver)
+    cfg = DiffConfig(
+        families=("sparse",),
+        budget=1,
+        seed=3,
+        eps=0.4,
+        invariants=("budget_monotone",),
+        out_dir=str(tmp_path),
+    )
+    report = run_differential(cfg, ctx=ctx)
+    path = report.findings[0].repro_path
+    # The real solver has no such bug, so the replay reports it fixed.
+    rc = vary_main(["--replay", path, "--eps", "0.4"])
+    assert rc == 0
+    assert "fixed" in capsys.readouterr().out

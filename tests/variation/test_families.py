@@ -1,0 +1,99 @@
+"""Scenario families: determinism, provenance, and per-family structure."""
+
+import pytest
+
+from repro.io import canonical_scenario_hash
+from repro.variation import FAMILIES, get_family
+from repro.variation.families import ParamSpec
+
+
+def test_catalog_has_at_least_five_families():
+    assert len(FAMILIES) >= 5
+    assert set(FAMILIES) >= {"cluttered", "corridor", "sparse", "kcoverage", "fairness"}
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_build_is_pure_in_params_and_seed(name):
+    fam = get_family(name)
+    a = fam.build(seed=42)
+    b = fam.build(seed=42)
+    assert a.stamp() == b.stamp()
+    assert a.scenario_hash() == b.scenario_hash()
+    c = fam.build(seed=43)
+    assert c.scenario_hash() != a.scenario_hash()
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_devices_are_placed_outside_obstacles(name):
+    s = get_family(name).build(seed=9).scenario
+    for d in s.devices:
+        assert s.in_region(d.position)
+        assert not any(h.contains(d.position, include_boundary=False) for h in s.obstacles)
+
+
+def test_equal_seeds_are_independent_across_families():
+    hashes = {name: get_family(name).build(seed=5).scenario_hash() for name in FAMILIES}
+    assert len(set(hashes.values())) == len(hashes)
+
+
+def test_provenance_stamp_shape():
+    v = get_family("corridor").build({"walls": 3}, seed=1)
+    prov = v.provenance()
+    assert prov["family"] == "corridor"
+    assert prov["seed"] == 1
+    assert prov["params"]["walls"] == 3
+    assert prov["mutations"] == []
+    assert prov["scenario_hash"] == canonical_scenario_hash(v.scenario)
+
+
+def test_validate_params_rejects_unknown_and_merges_defaults():
+    fam = get_family("sparse")
+    with pytest.raises(KeyError, match="no parameter"):
+        fam.build({"nonsense": 1}, seed=0)
+    merged = fam.validate_params({"devices": 6})
+    assert merged["devices"] == 6
+    assert set(merged) == set(fam.param_names())
+
+
+def test_get_family_unknown_name():
+    with pytest.raises(KeyError, match="unknown scenario family"):
+        get_family("no-such-family")
+
+
+def test_param_spec_requires_choices():
+    with pytest.raises(ValueError):
+        ParamSpec("empty", ())
+
+
+def test_corridor_wall_count_follows_param():
+    for walls in (2, 4):
+        s = get_family("corridor").build({"walls": walls}, seed=3).scenario
+        assert len(s.obstacles) == walls
+
+
+def test_kcoverage_budgets_scale_with_k():
+    fam = get_family("kcoverage")
+    s1 = fam.build({"k": 1}, seed=2).scenario
+    s3 = fam.build({"k": 3}, seed=2).scenario
+    assert sum(s3.budgets.values()) == 3 * sum(s1.budgets.values())
+    # Higher k also raises the per-device demand threshold proportionally.
+    assert s3.devices[0].threshold == pytest.approx(3 * s1.devices[0].threshold)
+
+
+def test_fairness_family_splits_clusters():
+    v = get_family("fairness").build({"main_devices": 4, "starved_devices": 2}, seed=8)
+    s = v.scenario
+    assert len(s.devices) == 6
+    assert len(s.obstacles) == 2  # the two wall arms
+    # The starved devices sit in the walled-off far corner.
+    size = s.bounds[2]
+    starved = s.devices[-2:]
+    assert all(d.position[0] > size * 0.6 and d.position[1] > size * 0.6 for d in starved)
+
+
+def test_mutation_trail_preserves_stamp_lineage():
+    v = get_family("sparse").build(seed=4)
+    w = v.with_scenario(v.scenario.with_budgets({"charger-1": 1}), "shrink_budget[test]")
+    assert w.family == v.family and w.seed == v.seed and w.params == v.params
+    assert w.mutations == ("shrink_budget[test]",)
+    assert w.scenario_hash() != v.scenario_hash()
