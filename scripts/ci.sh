@@ -15,8 +15,11 @@
 # whatever backends load on this machine.
 #
 # Static gates run first (fail fast, cheapest signals): the project
-# analyzer (docs/static-analysis.md) over src/repro, then the
-# strict-typing gate (scripts/typecheck.sh).
+# analyzer (docs/static-analysis.md) over src/repro — run twice, with the
+# JSON report and the repro.lockgraph/v1 artifact asserted byte-identical
+# across runs and kept under ${CI_ARTIFACTS_DIR:-/tmp} — the DET
+# determinism gate over the published entry points (benchmarks/,
+# examples/), then the strict-typing gate (scripts/typecheck.sh).
 #
 # The differential smoke (repro.variation, docs/variation.md) generates
 # a bounded corpus of seeded scenarios across every registered family
@@ -28,7 +31,25 @@ set -eu
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-python -m repro.analysis src/repro
+ARTIFACTS="${CI_ARTIFACTS_DIR:-/tmp}"
+mkdir -p "$ARTIFACTS"
+
+# Lint gate + artifacts.  Both the JSON report and the lock-order graph
+# are part of the analyzer's determinism contract: a second run over the
+# same tree must serialize byte-for-byte identically.
+python -m repro.analysis src/repro --format json \
+    --lock-graph "$ARTIFACTS/lint-lockgraph.json" > "$ARTIFACTS/lint-report.json"
+python -m repro.analysis src/repro --format json \
+    --lock-graph "$ARTIFACTS/lint-lockgraph.rerun.json" > "$ARTIFACTS/lint-report.rerun.json"
+cmp "$ARTIFACTS/lint-report.json" "$ARTIFACTS/lint-report.rerun.json"
+cmp "$ARTIFACTS/lint-lockgraph.json" "$ARTIFACTS/lint-lockgraph.rerun.json"
+rm -f "$ARTIFACTS/lint-report.rerun.json" "$ARTIFACTS/lint-lockgraph.rerun.json"
+echo "lint ok (report + lock graph deterministic, artifacts in $ARTIFACTS)"
+
+# The figure scripts are part of the reproducibility surface: hold
+# benchmarks/ and examples/ to the same determinism rules as the core.
+python -m repro.analysis benchmarks examples --select DET
+
 sh scripts/typecheck.sh
 
 # Tier-1 runs pinned to the numpy reference backend so the gate is

@@ -1,0 +1,167 @@
+"""Call-graph construction and reachability over the project IR.
+
+Resolution is deliberately conservative: an edge exists only when the
+callee can be named statically — module functions (directly or through
+resolved imports, including ``__init__`` re-export chains), ``self``
+methods, and methods reached through one typed attribute hop
+(``self.queue.submit()`` where ``self.queue = JobQueue(...)``).  Computed
+callees resolve to nothing, which under-approximates reachability but
+never fabricates a deadlock or a dropped cancel token.
+
+Reachability answers carry deterministic **witness paths**: each step is a
+``(rel, line, text)`` triple suitable for showing a human exactly how the
+analyzer got from "holds JobQueue._lock" to "acquires SolveCache._lock".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .ir import ClassIR, FunctionIR, ProjectIR
+
+__all__ = ["CallGraph", "WitnessStep", "build_callgraph"]
+
+_CG_KEY = "analysis.callgraph"
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One hop of an interprocedural witness path."""
+
+    rel: str
+    line: int
+    text: str
+
+    def format(self) -> str:
+        return f"{self.rel}:{self.line} {self.text}"
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges plus memoized reachability queries."""
+
+    ir: ProjectIR
+    #: caller qualname -> ((callee qualname, call node), ...) in AST order
+    edges: dict[str, tuple[tuple[str, ast.Call], ...]] = field(default_factory=dict)
+    _lock_reach: dict[str, dict[str, tuple[WitnessStep, ...]]] = field(default_factory=dict)
+    _loop_reach: dict[str, bool] = field(default_factory=dict)
+
+    def callees(self, qualname: str) -> tuple[tuple[str, ast.Call], ...]:
+        return self.edges.get(qualname, ())
+
+    # -- reachability ----------------------------------------------------
+    def lock_reach(self, qualname: str) -> dict[str, tuple[WitnessStep, ...]]:
+        """canonical lock id -> witness path for every lock *qualname* can
+        acquire, in its own frame or transitively through resolved calls."""
+        memo = self._lock_reach
+        cached = memo.get(qualname)
+        if cached is not None:
+            return cached
+        memo[qualname] = {}  # cycle guard: recursion sees the empty map
+        fn = self.ir.functions.get(qualname)
+        out: dict[str, tuple[WitnessStep, ...]] = {}
+        if fn is not None:
+            for acq in fn.acquisitions:
+                canonical = self.ir.canonical_lock(acq.lock_id)
+                step = WitnessStep(
+                    rel=fn.rel,
+                    line=getattr(acq.node, "lineno", fn.node.lineno),
+                    text=f"{fn.name} acquires {canonical}"
+                    + (f" (as {acq.lock_id})" if acq.lock_id != canonical else ""),
+                )
+                out.setdefault(canonical, (step,))
+            for callee, call in self.callees(qualname):
+                sub = self.lock_reach(callee)
+                if not sub:
+                    continue
+                callee_fn = self.ir.functions[callee]
+                hop = WitnessStep(
+                    rel=fn.rel,
+                    line=call.lineno,
+                    text=f"{fn.name} calls {callee_fn.cls + '.' if callee_fn.cls else ''}{callee_fn.name}",
+                )
+                for lock_id, path in sub.items():
+                    out.setdefault(lock_id, (hop,) + path)
+        memo[qualname] = out
+        return out
+
+    def loop_reach(self, qualname: str) -> bool:
+        """Whether *qualname* loops, in its own frame or transitively."""
+        memo = self._loop_reach
+        cached = memo.get(qualname)
+        if cached is not None:
+            return cached
+        memo[qualname] = False  # cycle guard
+        fn = self.ir.functions.get(qualname)
+        result = False
+        if fn is not None:
+            if fn.has_loop:
+                result = True
+            else:
+                result = any(self.loop_reach(callee) for callee, _ in self.callees(qualname))
+        memo[qualname] = result
+        return result
+
+
+def resolve_call(chain: tuple[str, ...], fn: FunctionIR, ir: ProjectIR) -> FunctionIR | None:
+    """The project function a dotted call chain targets, or ``None``."""
+    mod = ir.modules.get(fn.rel)
+    if mod is None:
+        return None
+    owner: ClassIR | None = ir.classes.get(fn.cls) if fn.cls else None
+    if len(chain) == 1:
+        name = chain[0]
+        local = mod.functions.get(name)
+        if local is not None:
+            return local
+        if name in mod.classes:
+            return mod.classes[name].methods.get("__init__")
+        target = mod.imports.get(name)
+        if target is not None and target[1] is not None:
+            resolved = ir.resolve_symbol(target[0], target[1])
+            if isinstance(resolved, FunctionIR):
+                return resolved
+            if isinstance(resolved, ClassIR):
+                return resolved.methods.get("__init__")
+        return None
+    if len(chain) == 2:
+        head, member = chain
+        if head == "self" and owner is not None:
+            return owner.methods.get(member)
+        target = mod.imports.get(head)
+        if target is not None and target[1] is None:
+            resolved = ir.resolve_symbol(target[0], member)
+            if isinstance(resolved, FunctionIR):
+                return resolved
+            if isinstance(resolved, ClassIR):
+                return resolved.methods.get("__init__")
+        if head in mod.classes:  # Cls.method / Cls.classmethod references
+            return mod.classes[head].methods.get(member)
+        return None
+    if len(chain) == 3 and chain[0] == "self" and owner is not None:
+        attr_cls = ir.classes.get(owner.attr_types.get(chain[1], ""))
+        if attr_cls is not None:
+            return attr_cls.methods.get(chain[2])
+    return None
+
+
+def build_callgraph(ir: ProjectIR, *, shared: dict[str, object] | None = None) -> CallGraph:
+    """Build (or fetch the cached) call graph for *ir*."""
+    if shared is not None:
+        cached = shared.get(_CG_KEY)
+        if isinstance(cached, CallGraph) and cached.ir is ir:
+            return cached
+    graph = CallGraph(ir=ir)
+    for qual in sorted(ir.functions):
+        fn = ir.functions[qual]
+        resolved: list[tuple[str, ast.Call]] = []
+        for call in fn.calls:
+            callee = resolve_call(call.chain, fn, ir)
+            if callee is not None and callee.qualname != qual:
+                resolved.append((callee.qualname, call.node))
+        if resolved:
+            graph.edges[qual] = tuple(resolved)
+    if shared is not None:
+        shared[_CG_KEY] = graph
+    return graph

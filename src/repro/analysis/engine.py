@@ -250,7 +250,10 @@ def load_module(root: Path, path: Path) -> ModuleContext:
     except ValueError:
         rel = str(path)
     rel_parts = Path(rel).parts
-    components = tuple(rel_parts[:-1]) + (Path(rel).stem, Path(rel).name)
+    # The scan root's own name participates in scoping, so linting
+    # `benchmarks/` or a single `src/repro/core/<file>.py` applies the
+    # same directory-scoped rules as linting the parent tree would.
+    components = (root.name,) + tuple(rel_parts[:-1]) + (Path(rel).stem, Path(rel).name)
     lines = source.splitlines()
     return ModuleContext(
         path=path,
@@ -280,6 +283,25 @@ def _select_rules(
     return out
 
 
+def _validate_rule_ids(
+    rules: Sequence[Rule], select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> None:
+    """Reject ``--select``/``--ignore`` prefixes matching no registered rule.
+
+    A typo like ``--select DET10X`` silently running *zero* rules is a CI
+    gate that passes while checking nothing; make it a usage error (exit 2).
+    """
+    known = sorted({r.rule_id for r in rules} | {UNUSED_SUPPRESSION_ID})
+    for flag, prefixes in (("--select", select), ("--ignore", ignore)):
+        for raw in prefixes or []:
+            token = raw.strip().upper()
+            if token and not any(rid.startswith(token) for rid in known):
+                raise AnalysisError(
+                    f"unknown rule id {raw.strip()!r} in {flag} "
+                    f"(known: {', '.join(known)})"
+                )
+
+
 def run_analysis(
     paths: Sequence[str | Path],
     *,
@@ -296,6 +318,7 @@ def run_analysis(
     from .rules import default_rules
 
     all_rules: Sequence[Rule] = rules if rules is not None else default_rules()
+    _validate_rule_ids(all_rules, select, ignore)
     active = _select_rules(all_rules, select, ignore)
     project = Project(modules=[load_module(root, f) for root, f in collect_files(paths)])
     for rule in active:
@@ -356,11 +379,17 @@ def default_source_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
-def lint_summary(paths: Sequence[str | Path] | None = None) -> dict[str, int]:
+def lint_summary(paths: Sequence[str | Path] | None = None) -> dict[str, Any]:
     """Compact lint stats stamped into benchmark provenance blocks."""
     result = run_analysis(paths if paths is not None else [default_source_root()])
+    families: dict[str, int] = {}
+    for rule_id in result.rules_run:
+        m = re.match(r"[A-Z]+", rule_id)
+        family = m.group(0) if m is not None else rule_id
+        families[family] = families.get(family, 0) + 1
     return {
         "rules": result.rules_registered,
+        "families": dict(sorted(families.items())),
         "violations": len(result.violations),
         "errors": result.errors,
         "warnings": result.warnings,
@@ -388,6 +417,9 @@ def build_arg_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
                         help="treat warnings as errors (exit 1 on any violation)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
+    parser.add_argument("--lock-graph", type=str, default=None, metavar="OUT.json",
+                        help="also write the repro.lockgraph/v1 lock-ordering "
+                        "artifact (deterministic JSON) to this path")
     return parser
 
 
@@ -410,6 +442,10 @@ def main(argv: Sequence[str] | None = None, *, prog: str = "repro.analysis") -> 
     paths = args.paths if args.paths else [default_source_root()]
     try:
         result = run_analysis(paths, select=_split(args.select), ignore=_split(args.ignore))
+        if args.lock_graph:
+            from .lockgraph import build_lock_graph, write_lock_graph
+
+            write_lock_graph(build_lock_graph(paths), args.lock_graph)
     except AnalysisError as exc:
         print(f"repro.analysis: error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,528 @@
+"""Whole-program IR for the interprocedural rules.
+
+The module-local rules (CNC201/CNC202, DET1xx, ...) each re-derive just
+enough structure from a single AST.  The interprocedural rules — lock-order
+cycles (CNC204), transitive cancel propagation (CNC205), ContextVar scope
+hygiene (CTX901) — need one shared, resolved view of the whole tree:
+
+* a **module table** with package-relative dotted names and resolved
+  imports (including relative imports and re-export chasing through
+  ``__init__`` modules);
+* a **class table** with per-attribute types (``self.queue = JobQueue(...)``)
+  and per-attribute *lock sites*, including the two sharing patterns the
+  serve tier uses: ``Condition(self._lock)`` and the ``lock=`` constructor
+  parameter (``self._lock = lock if lock is not None else Lock()``);
+* a **function table** (module functions + methods) with parameters,
+  same-frame call sites, same-frame lock acquisitions, and loop structure;
+* a **lock identity model**: every lock gets a stable id
+  (``Class.attr`` / ``module.NAME``), and aliasing through
+  ``Condition(self._lock)`` or ``SomeClass(..., lock=self._lock)`` is
+  resolved with a union-find so "the same mutex under two names" is one
+  node in the lock-ordering graph.
+
+Everything here is deterministic: modules are visited in sorted ``rel``
+order and all outputs are plain sorted structures, which is what makes the
+``repro.lockgraph/v1`` artifact byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .astutil import attr_chain, self_attr
+from .engine import ModuleContext, Project
+
+__all__ = [
+    "LOCK_CTOR_NAMES",
+    "Acquisition",
+    "CallSite",
+    "ClassIR",
+    "FunctionIR",
+    "ModuleIR",
+    "ProjectIR",
+    "build_project_ir",
+    "module_name",
+    "walk_same_frame",
+]
+
+_IR_KEY = "analysis.project_ir"
+
+#: Constructor names whose result is a mutual-exclusion primitive.  The
+#: ``new_lock`` factory is the sanitizer seam (``analysis/sanitizer.py``):
+#: it returns a plain or order-checked lock depending on
+#: ``REPRO_LOCK_SANITIZER``, and the analyzer must see through it.
+LOCK_CTOR_NAMES = frozenset({"Lock", "RLock", "Condition", "new_lock"})
+
+
+def module_name(rel: str) -> str:
+    """Dotted package-relative module name of a display path.
+
+    ``serve/api.py`` -> ``serve.api``; ``backend/__init__.py`` -> ``backend``;
+    ``cli.py`` -> ``cli``.
+    """
+    parts = [p for p in rel.replace("\\", "/").split("/") if p]
+    if parts and parts[-1].endswith(".py"):
+        last = parts[-1][: -len(".py")]
+        parts = parts[:-1] if last == "__init__" else parts[:-1] + [last]
+    return ".".join(parts)
+
+
+def walk_same_frame(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk *root* without descending into nested defs/lambdas/classes.
+
+    Nested functions run later (or never), so their bodies do not belong
+    to the enclosing frame's lock scope, call set, or loop structure.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    yield root
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function's own frame."""
+
+    node: ast.Call
+    chain: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One same-frame lock acquisition: a ``with`` item or ``.acquire()``."""
+
+    lock_id: str  # raw (pre-aliasing) id, e.g. "JobQueue._lock"
+    node: ast.AST
+    kind: str  # "with" | "acquire"
+
+
+@dataclass
+class FunctionIR:
+    """One module-level function or method."""
+
+    qualname: str  # "serve.api:SolveService._solve" / "cli:main"
+    modname: str
+    rel: str
+    name: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    decorators: tuple[tuple[str, ...], ...]
+    has_loop: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+
+    def is_contextmanager(self) -> bool:
+        return any(d and d[-1] in ("contextmanager", "asynccontextmanager") for d in self.decorators)
+
+
+@dataclass
+class ClassIR:
+    """Per-class attribute and lock structure."""
+
+    name: str
+    modname: str
+    rel: str
+    node: ast.ClassDef
+    #: self attribute -> simple constructor name assigned in the class body
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: self attributes holding a mutual-exclusion primitive
+    lock_attrs: set[str] = field(default_factory=set)
+    #: lock attr -> ctor parameter name it may alias
+    #: (``self._lock = lock if lock is not None else Lock()``)
+    lock_param_attrs: dict[str, str] = field(default_factory=dict)
+    #: (lock attr, other lock attr) pairs sharing one mutex
+    #: (``self._not_empty = Condition(self._lock)``)
+    lock_shares: list[tuple[str, str]] = field(default_factory=list)
+    methods: dict[str, "FunctionIR"] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleIR:
+    """One parsed module with resolved local names."""
+
+    ctx: ModuleContext
+    modname: str
+    #: local name -> (module dotted name, symbol or None for module imports)
+    imports: dict[str, tuple[str, str | None]] = field(default_factory=dict)
+    functions: dict[str, FunctionIR] = field(default_factory=dict)
+    classes: dict[str, ClassIR] = field(default_factory=dict)
+    #: top-level ``NAME = Lock()``-style module locks
+    module_locks: set[str] = field(default_factory=set)
+    #: top-level ``NAME = ContextVar(...)`` variables
+    contextvars: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ProjectIR:
+    """The resolved whole-program view, cached on ``Project.shared``."""
+
+    modules: dict[str, ModuleIR]  # rel -> module
+    by_modname: dict[str, ModuleIR]
+    classes: dict[str, ClassIR]  # simple class name, first definition wins
+    functions: dict[str, FunctionIR]  # qualname -> function
+    #: union-find parent pointers over lock ids
+    lock_parent: dict[str, str] = field(default_factory=dict)
+    #: lock ids created from a ctor parameter (aliasing candidates lose
+    #: representative elections to concretely-constructed locks)
+    lock_from_param: set[str] = field(default_factory=set)
+
+    # -- lock identity ---------------------------------------------------
+    def _find(self, lock_id: str) -> str:
+        parent = self.lock_parent
+        root = lock_id
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(lock_id, lock_id) != root:  # path compression
+            lock_id, parent[lock_id] = parent[lock_id], root
+        return root
+
+    def union_locks(self, a: str, b: str) -> None:
+        """Merge two lock ids; the concretely-constructed one represents."""
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        # Prefer a non-parameter lock as representative; tie-break on name
+        # so the choice is deterministic.
+        ka = (ra in self.lock_from_param, ra)
+        kb = (rb in self.lock_from_param, rb)
+        winner, loser = (ra, rb) if ka <= kb else (rb, ra)
+        self.lock_parent[loser] = winner
+
+    def canonical_lock(self, lock_id: str) -> str:
+        """The representative id of *lock_id*'s alias class."""
+        return self._find(lock_id)
+
+    def lock_aliases(self) -> dict[str, tuple[str, ...]]:
+        """representative -> sorted alias ids (including the representative)."""
+        groups: dict[str, set[str]] = {}
+        for lock_id in self.lock_parent:
+            groups.setdefault(self._find(lock_id), set()).add(lock_id)
+        for root in list(groups):
+            groups[root].add(root)
+        return {root: tuple(sorted(ids)) for root, ids in sorted(groups.items())}
+
+    # -- symbol resolution -----------------------------------------------
+    def resolve_symbol(self, modname: str, symbol: str, *, _depth: int = 0) -> FunctionIR | ClassIR | None:
+        """Find *symbol* in *modname*, chasing re-export import chains."""
+        if _depth > 8:
+            return None
+        mod = self.by_modname.get(modname)
+        if mod is None:
+            return None
+        if symbol in mod.functions:
+            return mod.functions[symbol]
+        if symbol in mod.classes:
+            return mod.classes[symbol]
+        target = mod.imports.get(symbol)
+        if target is None:
+            return None
+        t_mod, t_sym = target
+        if t_sym is None:
+            return None
+        return self.resolve_symbol(t_mod, t_sym, _depth=_depth + 1)
+
+
+def _ctor_call(value: ast.expr) -> ast.Call | None:
+    """The constructor call of an attribute assignment value.
+
+    Sees through the shared-lock pattern
+    ``lock if lock is not None else threading.Lock()`` by picking the
+    concrete branch of the ``IfExp``.
+    """
+    if isinstance(value, ast.IfExp):
+        for branch in (value.body, value.orelse):
+            call = _ctor_call(branch)
+            if call is not None:
+                return call
+        return None
+    if isinstance(value, ast.Call):
+        return value
+    return None
+
+
+def _ctor_name(value: ast.expr) -> str | None:
+    call = _ctor_call(value)
+    if call is None:
+        return None
+    chain = attr_chain(call.func)
+    return chain[-1] if chain else None
+
+
+def _ifexp_param_name(value: ast.expr) -> str | None:
+    """The parameter name of ``param if param is not None else Lock()``."""
+    if not isinstance(value, ast.IfExp):
+        return None
+    for branch in (value.body, value.orelse):
+        if isinstance(branch, ast.Name):
+            return branch.id
+    return None
+
+
+def resolve_relative(modname: str, *, is_package: bool, level: int, target: str | None) -> str:
+    """Resolve a relative import against a package-relative module name."""
+    parts = modname.split(".") if modname else []
+    if not is_package and parts:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[: max(0, len(parts) - (level - 1))]
+    if target:
+        parts = parts + target.split(".")
+    return ".".join(parts)
+
+
+def _collect_imports(mod: ModuleIR, known_modnames: set[str]) -> None:
+    is_package = mod.ctx.rel.replace("\\", "/").endswith("__init__.py")
+    for node in ast.walk(mod.ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                if name.startswith("repro."):
+                    name = name[len("repro."):]
+                if name in known_modnames:
+                    mod.imports[alias.asname or name.split(".")[0]] = (name, None)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                target = resolve_relative(
+                    mod.modname, is_package=is_package, level=node.level, target=node.module
+                )
+            else:
+                target = node.module or ""
+                if target.startswith("repro."):
+                    target = target[len("repro."):]
+            if target not in known_modnames:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mod.imports[alias.asname or alias.name] = (target, alias.name)
+
+
+def _function_ir(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    mod: ModuleIR,
+    cls: ClassIR | None,
+) -> FunctionIR:
+    args = node.args
+    params = tuple(
+        a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)
+    )
+    decorators: list[tuple[str, ...]] = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = attr_chain(target)
+        if chain:
+            decorators.append(chain)
+    qual = f"{mod.modname}:{cls.name + '.' if cls else ''}{node.name}"
+    return FunctionIR(
+        qualname=qual,
+        modname=mod.modname,
+        rel=mod.ctx.rel,
+        name=node.name,
+        cls=cls.name if cls else None,
+        node=node,
+        params=params,
+        decorators=tuple(decorators),
+    )
+
+
+def _scan_class(node: ast.ClassDef, mod: ModuleIR) -> ClassIR:
+    cls = ClassIR(name=node.name, modname=mod.modname, rel=mod.ctx.rel, node=node)
+    for sub in ast.walk(node):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            target, value = sub.targets[0], sub.value
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            target, value = sub.target, sub.value
+        if target is None or value is None:
+            continue
+        attr = self_attr(target)
+        if attr is None:
+            continue
+        ctor = _ctor_name(value)
+        if ctor in LOCK_CTOR_NAMES:
+            cls.lock_attrs.add(attr)
+            param = _ifexp_param_name(value)
+            if param is not None:
+                cls.lock_param_attrs[attr] = param
+            call = _ctor_call(value)
+            if call is not None and ctor == "Condition":
+                for arg in call.args:
+                    shared = self_attr(arg)
+                    if shared is not None:
+                        cls.lock_shares.append((attr, shared))
+        elif ctor is not None:
+            cls.attr_types[attr] = ctor
+    return cls
+
+
+def _scan_function_body(fn: FunctionIR, cls: ClassIR | None, mod: ModuleIR) -> None:
+    lock_attrs = cls.lock_attrs if cls is not None else set()
+    cls_name = cls.name if cls is not None else ""
+    for node in walk_same_frame(fn.node):
+        if node is fn.node:
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            fn.has_loop = True
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                attr = self_attr(item.context_expr)
+                if attr is not None and attr in lock_attrs:
+                    fn.acquisitions.append(Acquisition(f"{cls_name}.{attr}", node, "with"))
+                    continue
+                if isinstance(item.context_expr, ast.Name) and item.context_expr.id in mod.module_locks:
+                    fn.acquisitions.append(
+                        Acquisition(f"{mod.modname}.{item.context_expr.id}", node, "with")
+                    )
+        elif isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            fn.calls.append(CallSite(node=node, chain=chain))
+            if len(chain) == 3 and chain[0] == "self" and chain[1] in lock_attrs and chain[2] == "acquire":
+                fn.acquisitions.append(Acquisition(f"{cls_name}.{chain[1]}", node, "acquire"))
+            elif len(chain) == 2 and chain[0] in mod.module_locks and chain[1] == "acquire":
+                fn.acquisitions.append(Acquisition(f"{mod.modname}.{chain[0]}", node, "acquire"))
+
+
+def _collect_toplevel_names(mod: ModuleIR) -> None:
+    for stmt in mod.ctx.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        ctor = _ctor_name(value)
+        if ctor in LOCK_CTOR_NAMES:
+            mod.module_locks.add(target.id)
+        elif ctor == "ContextVar":
+            mod.contextvars.add(target.id)
+
+
+def _register_lock_nodes(ir: ProjectIR) -> None:
+    for rel in sorted(ir.modules):
+        mod = ir.modules[rel]
+        for name in sorted(mod.module_locks):
+            lock_id = f"{mod.modname}.{name}"
+            ir.lock_parent.setdefault(lock_id, lock_id)
+        for cls_name in sorted(mod.classes):
+            cls = mod.classes[cls_name]
+            if ir.classes.get(cls_name) is not cls:
+                continue  # shadowed duplicate class name: first wins
+            for attr in sorted(cls.lock_attrs):
+                lock_id = f"{cls.name}.{attr}"
+                ir.lock_parent.setdefault(lock_id, lock_id)
+                if attr in cls.lock_param_attrs:
+                    ir.lock_from_param.add(lock_id)
+            for attr, shared in cls.lock_shares:
+                if shared in cls.lock_attrs:
+                    ir.union_locks(f"{cls.name}.{attr}", f"{cls.name}.{shared}")
+
+
+def _alias_ctor_lock_params(ir: ProjectIR) -> None:
+    """Union lock ids across ``SomeClass(..., lock=self._lock)`` sites."""
+    for qual in sorted(ir.functions):
+        fn = ir.functions[qual]
+        owner = ir.classes.get(fn.cls) if fn.cls else None
+        for call in fn.calls:
+            target_cls = _resolve_class(call.chain, fn, ir)
+            if target_cls is None or not target_cls.lock_param_attrs:
+                continue
+            for kw in call.node.keywords:
+                if kw.arg is None:
+                    continue
+                bound = [
+                    attr for attr, param in target_cls.lock_param_attrs.items() if param == kw.arg
+                ]
+                if not bound:
+                    continue
+                passed = self_attr(kw.value)
+                if passed is None or owner is None or passed not in owner.lock_attrs:
+                    continue
+                for attr in bound:
+                    ir.union_locks(f"{target_cls.name}.{attr}", f"{owner.name}.{passed}")
+
+
+def _resolve_class(chain: tuple[str, ...], fn: FunctionIR, ir: ProjectIR) -> ClassIR | None:
+    """The class a ``Cls(...)`` / ``mod.Cls(...)`` call constructs, if any."""
+    mod = ir.modules.get(fn.rel)
+    if mod is None:
+        return None
+    if len(chain) == 1:
+        name = chain[0]
+        if name in mod.classes:
+            return mod.classes[name]
+        target = mod.imports.get(name)
+        if target is not None and target[1] is not None:
+            resolved = ir.resolve_symbol(target[0], target[1])
+            if isinstance(resolved, ClassIR):
+                return resolved
+        return ir.classes.get(name)
+    if len(chain) == 2:
+        target = mod.imports.get(chain[0])
+        if target is not None and target[1] is None:
+            resolved = ir.resolve_symbol(target[0], chain[1])
+            if isinstance(resolved, ClassIR):
+                return resolved
+    return None
+
+
+def build_project_ir(project: Project) -> ProjectIR:
+    """Build (or fetch the cached) whole-program IR for *project*."""
+    cached = project.shared.get(_IR_KEY)
+    if isinstance(cached, ProjectIR):
+        return cached
+
+    modules: dict[str, ModuleIR] = {}
+    for ctx in sorted(project.modules, key=lambda c: c.rel):
+        modules[ctx.rel] = ModuleIR(ctx=ctx, modname=module_name(ctx.rel))
+    by_modname = {mod.modname: mod for mod in modules.values()}
+    known_modnames = set(by_modname)
+
+    ir = ProjectIR(modules=modules, by_modname=by_modname, classes={}, functions={})
+
+    for rel in sorted(modules):
+        mod = modules[rel]
+        _collect_imports(mod, known_modnames)
+        _collect_toplevel_names(mod)
+        for stmt in mod.ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                cls = _scan_class(stmt, mod)
+                mod.classes[cls.name] = cls
+                ir.classes.setdefault(cls.name, cls)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = _function_ir(stmt, mod=mod, cls=None)
+                mod.functions[fn.name] = fn
+                ir.functions[fn.qualname] = fn
+
+    # Methods second: their acquisition scan needs the class lock tables.
+    for rel in sorted(modules):
+        mod = modules[rel]
+        for cls_name in sorted(mod.classes):
+            cls = mod.classes[cls_name]
+            for stmt in cls.node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fn = _function_ir(stmt, mod=mod, cls=cls)
+                    cls.methods[fn.name] = fn
+                    ir.functions[fn.qualname] = fn
+        for fn in mod.functions.values():
+            _scan_function_body(fn, None, mod)
+        for cls in mod.classes.values():
+            for fn in cls.methods.values():
+                _scan_function_body(fn, cls, mod)
+
+    _register_lock_nodes(ir)
+    _alias_ctor_lock_params(ir)
+    project.shared[_IR_KEY] = ir
+    return ir

@@ -1,0 +1,377 @@
+"""The global lock-ordering graph and the ``repro.lockgraph/v1`` artifact.
+
+Nodes are canonical lock ids from the project IR (aliasing through
+``Condition(self._lock)`` and ``lock=`` constructor sharing already
+collapsed).  A directed edge ``A -> B`` means *somewhere in the project a
+frame acquires B while holding A* — either a nested ``with`` in one
+function, or a call made under ``A`` that transitively reaches an
+acquisition of ``B`` (resolved through the call graph, with the full
+witness path retained).
+
+A cycle in this graph is a potential deadlock: two threads entering the
+cycle from different edges can block each other forever.  CNC204 reports
+every cycle with the witness acquisition path of each edge; the same graph
+serializes to a deterministic JSON artifact (``repro lint --lock-graph``,
+``make lint-graph``) whose schema is documented in
+``docs/static-analysis.md`` and validated by :func:`validate_lock_graph`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from .astutil import attr_chain, self_attr
+from .callgraph import CallGraph, WitnessStep, build_callgraph, resolve_call
+from .engine import Project, collect_files, load_module
+from .ir import FunctionIR, ProjectIR, build_project_ir
+
+__all__ = [
+    "LOCKGRAPH_SCHEMA",
+    "LockOrderGraph",
+    "build_lock_graph",
+    "build_lock_order",
+    "lock_graph_document",
+    "validate_lock_graph",
+    "write_lock_graph",
+]
+
+LOCKGRAPH_SCHEMA = "repro.lockgraph/v1"
+
+_GRAPH_KEY = "analysis.lockorder"
+
+EdgeKey = tuple[str, str]
+
+
+@dataclass
+class LockOrderGraph:
+    """The project-wide lock-ordering graph."""
+
+    ir: ProjectIR
+    #: every canonical lock id, including isolated ones
+    nodes: tuple[str, ...] = ()
+    #: (held, acquired) -> witness path (first deterministic witness wins)
+    edges: dict[EdgeKey, tuple[WitnessStep, ...]] = field(default_factory=dict)
+    #: each cycle as its edge sequence, e.g. [(A, B), (B, A)]
+    cycles: list[tuple[EdgeKey, ...]] = field(default_factory=list)
+
+
+def _with_lock_ids(node: ast.With, fn: FunctionIR, ir: ProjectIR) -> list[str]:
+    """Raw lock ids acquired by one ``with`` statement in *fn*'s frame."""
+    mod = ir.modules.get(fn.rel)
+    cls = ir.classes.get(fn.cls) if fn.cls else None
+    out: list[str] = []
+    for item in node.items:
+        attr = self_attr(item.context_expr)
+        if attr is not None and cls is not None and attr in cls.lock_attrs:
+            out.append(f"{cls.name}.{attr}")
+        elif (
+            isinstance(item.context_expr, ast.Name)
+            and mod is not None
+            and item.context_expr.id in mod.module_locks
+        ):
+            out.append(f"{mod.modname}.{item.context_expr.id}")
+    return out
+
+
+def _add_edge(
+    graph: LockOrderGraph, frm: str, to: str, witness: tuple[WitnessStep, ...]
+) -> None:
+    graph.edges.setdefault((frm, to), witness)
+
+
+Held = tuple[tuple[str, WitnessStep], ...]
+
+
+def _scan_frame(
+    node: ast.AST, held: Held, fn: FunctionIR, graph: LockOrderGraph, cg: CallGraph
+) -> None:
+    ir = graph.ir
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+        return
+    if isinstance(node, ast.With):
+        acquired: Held = ()
+        for lock_id in _with_lock_ids(node, fn, ir):
+            canonical = ir.canonical_lock(lock_id)
+            step = WitnessStep(
+                rel=fn.rel,
+                line=node.lineno,
+                text=f"{fn.name} acquires {canonical}"
+                + (f" (as {lock_id})" if lock_id != canonical else ""),
+            )
+            for h, h_step in held:
+                if h != canonical:
+                    _add_edge(graph, h, canonical, (h_step, step))
+            acquired = acquired + ((canonical, step),)
+        inner = held + acquired
+        for child in ast.iter_child_nodes(node):
+            _scan_frame(child, inner, fn, graph, cg)
+        return
+    if held and isinstance(node, ast.Call):
+        chain = attr_chain(node.func)
+        if chain is not None:
+            _edges_for_target(chain, node.lineno, held, fn, graph, cg)
+    elif held and isinstance(node, ast.Attribute):
+        # Property reads can acquire locks too (`self.queue.depth`); edges
+        # are deduplicated so the enclosing-call case is not double-counted.
+        chain = attr_chain(node)
+        if chain is not None and len(chain) == 3 and chain[0] == "self":
+            _edges_for_target(chain, node.lineno, held, fn, graph, cg)
+    for child in ast.iter_child_nodes(node):
+        _scan_frame(child, held, fn, graph, cg)
+
+
+def _edges_for_target(
+    chain: tuple[str, ...],
+    line: int,
+    held: Held,
+    fn: FunctionIR,
+    graph: LockOrderGraph,
+    cg: CallGraph,
+) -> None:
+    ir = graph.ir
+    cls = ir.classes.get(fn.cls) if fn.cls else None
+    # Direct `.acquire()` on an own or module lock while holding another.
+    direct: str | None = None
+    if len(chain) == 3 and chain[0] == "self" and chain[2] == "acquire":
+        if cls is not None and chain[1] in cls.lock_attrs:
+            direct = f"{cls.name}.{chain[1]}"
+    elif len(chain) == 2 and chain[1] == "acquire":
+        mod = ir.modules.get(fn.rel)
+        if mod is not None and chain[0] in mod.module_locks:
+            direct = f"{mod.modname}.{chain[0]}"
+    if direct is not None:
+        canonical = ir.canonical_lock(direct)
+        step = WitnessStep(rel=fn.rel, line=line, text=f"{fn.name} acquires {canonical}")
+        for h, h_step in held:
+            if h != canonical:
+                _add_edge(graph, h, canonical, (h_step, step))
+        return
+    callee = resolve_call(chain, fn, ir)
+    if callee is None:
+        return
+    reach = cg.lock_reach(callee.qualname)
+    if not reach:
+        return
+    hop = WitnessStep(
+        rel=fn.rel,
+        line=line,
+        text=f"{fn.name} calls {callee.cls + '.' if callee.cls else ''}{callee.name} "
+        f"while holding a lock",
+    )
+    for lock_id in sorted(reach):
+        for h, h_step in held:
+            if lock_id != h:
+                _add_edge(graph, h, lock_id, (h_step, hop) + reach[lock_id])
+
+
+def _find_cycles(graph: LockOrderGraph) -> list[tuple[EdgeKey, ...]]:
+    """Deterministic cycle enumeration: one representative cycle per SCC."""
+    succ: dict[str, list[str]] = {}
+    for frm, to in sorted(graph.edges):
+        succ.setdefault(frm, []).append(to)
+
+    # Tarjan's SCC, iterative, deterministic visit order.
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, i = work.pop()
+            if i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = succ.get(node, [])
+            for j in range(i, len(children)):
+                child = children[j]
+                if child not in index:
+                    work.append((node, j + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for node in sorted(set(succ) | {to for tos in succ.values() for to in tos}):
+        if node not in index:
+            strongconnect(node)
+
+    cycles: list[tuple[EdgeKey, ...]] = []
+    for scc in sccs:
+        members = set(scc)
+        if len(scc) == 1:
+            node = scc[0]
+            if (node, node) in graph.edges:
+                cycles.append(((node, node),))
+            continue
+        # Shortest cycle through the smallest member, BFS inside the SCC.
+        start = scc[0]
+        parent: dict[str, EdgeKey] = {}
+        frontier = [start]
+        found: list[EdgeKey] | None = None
+        while frontier and found is None:
+            nxt: list[str] = []
+            for node in frontier:
+                for child in succ.get(node, []):
+                    if child not in members:
+                        continue
+                    if child == start:
+                        path = [(node, child)]
+                        cur = node
+                        while cur != start:
+                            edge = parent[cur]
+                            path.append(edge)
+                            cur = edge[0]
+                        found = list(reversed(path))
+                        break
+                    if child not in parent:
+                        parent[child] = (node, child)
+                        nxt.append(child)
+                if found is not None:
+                    break
+            frontier = nxt
+        if found is not None:
+            cycles.append(tuple(found))
+    return sorted(cycles)
+
+
+def build_lock_order(project: Project) -> LockOrderGraph:
+    """Build (or fetch the cached) lock-ordering graph for *project*."""
+    cached = project.shared.get(_GRAPH_KEY)
+    if isinstance(cached, LockOrderGraph):
+        return cached
+    ir = build_project_ir(project)
+    cg = build_callgraph(ir, shared=project.shared)
+    graph = LockOrderGraph(ir=ir)
+
+    order = sorted(ir.functions.values(), key=lambda f: (f.rel, f.node.lineno, f.qualname))
+    for fn in order:
+        for child in ast.iter_child_nodes(fn.node):
+            _scan_frame(child, (), fn, graph, cg)
+
+    graph.nodes = tuple(sorted({ir.canonical_lock(l) for l in ir.lock_parent}))
+    graph.cycles = _find_cycles(graph)
+    project.shared[_GRAPH_KEY] = graph
+    return graph
+
+
+def _witness_json(witness: tuple[WitnessStep, ...]) -> list[dict[str, Any]]:
+    return [{"path": s.rel, "line": s.line, "text": s.text} for s in witness]
+
+
+def lock_graph_document(graph: LockOrderGraph) -> dict[str, Any]:
+    """The deterministic ``repro.lockgraph/v1`` JSON document."""
+    aliases = graph.ir.lock_aliases()
+    locks = [
+        {"id": node, "aliases": list(aliases.get(node, (node,)))}
+        for node in graph.nodes
+    ]
+    edges = [
+        {"from": frm, "to": to, "witness": _witness_json(graph.edges[(frm, to)])}
+        for frm, to in sorted(graph.edges)
+    ]
+    cycles = [
+        {
+            "locks": sorted({node for edge in cycle for node in edge}),
+            "edges": [{"from": frm, "to": to} for frm, to in cycle],
+        }
+        for cycle in graph.cycles
+    ]
+    return {
+        "schema": LOCKGRAPH_SCHEMA,
+        "locks": locks,
+        "edges": edges,
+        "cycles": cycles,
+    }
+
+
+def build_lock_graph(paths: Sequence[str | Path]) -> dict[str, Any]:
+    """Analyze *paths* and return the ``repro.lockgraph/v1`` document."""
+    project = Project(modules=[load_module(root, f) for root, f in collect_files(paths)])
+    return lock_graph_document(build_lock_order(project))
+
+
+def validate_lock_graph(doc: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless *doc* is a well-formed lock graph."""
+    problems: list[str] = []
+    if doc.get("schema") != LOCKGRAPH_SCHEMA:
+        problems.append(f"schema must be {LOCKGRAPH_SCHEMA!r}, got {doc.get('schema')!r}")
+    locks = doc.get("locks")
+    edges = doc.get("edges")
+    cycles = doc.get("cycles")
+    if not isinstance(locks, list) or not isinstance(edges, list) or not isinstance(cycles, list):
+        raise ValueError("locks/edges/cycles must all be lists; " + "; ".join(problems))
+    known: set[str] = set()
+    for lock in locks:
+        if not isinstance(lock, dict) or not isinstance(lock.get("id"), str):
+            problems.append(f"malformed lock entry {lock!r}")
+            continue
+        known.add(lock["id"])
+        aliases = lock.get("aliases")
+        if not isinstance(aliases, list) or lock["id"] not in aliases:
+            problems.append(f"lock {lock['id']}: aliases must be a list containing the id")
+    edge_keys: set[tuple[str, str]] = set()
+    for edge in edges:
+        if not isinstance(edge, dict):
+            problems.append(f"malformed edge entry {edge!r}")
+            continue
+        frm, to, witness = edge.get("from"), edge.get("to"), edge.get("witness")
+        if frm not in known or to not in known:
+            problems.append(f"edge {frm!r}->{to!r} references an unknown lock")
+        if not isinstance(witness, list) or not witness:
+            problems.append(f"edge {frm!r}->{to!r} has no witness path")
+        else:
+            for step in witness:
+                if (
+                    not isinstance(step, dict)
+                    or not isinstance(step.get("path"), str)
+                    or not isinstance(step.get("line"), int)
+                    or not isinstance(step.get("text"), str)
+                ):
+                    problems.append(f"edge {frm!r}->{to!r} has a malformed witness step {step!r}")
+                    break
+        if isinstance(frm, str) and isinstance(to, str):
+            edge_keys.add((frm, to))
+    for cycle in cycles:
+        if not isinstance(cycle, dict) or not isinstance(cycle.get("edges"), list):
+            problems.append(f"malformed cycle entry {cycle!r}")
+            continue
+        for edge in cycle["edges"]:
+            key = (edge.get("from"), edge.get("to")) if isinstance(edge, dict) else None
+            if key not in edge_keys:
+                problems.append(f"cycle edge {edge!r} not present in the edge list")
+    if problems:
+        raise ValueError("invalid lock graph: " + "; ".join(problems))
+
+
+def write_lock_graph(doc: dict[str, Any], path: str | Path) -> Path:
+    """Serialize *doc* byte-deterministically (sorted keys, trailing NL)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return out

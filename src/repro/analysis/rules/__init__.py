@@ -9,10 +9,13 @@ output is stable.
 from __future__ import annotations
 
 from ..engine import Rule
-from .backend import LazyAcceleratorImportRule
+from .backend import BackendPurityRule, LazyAcceleratorImportRule
+from .cancelflow import CancelFlowRule
 from .concurrency import CancelPollRule, LockGuardRule, LockHazardRule
+from .contextvars import ContextVarScopeRule
 from .determinism import SetIterationRule, UnseededRandomRule, WallClockRule
 from .hygiene import FloatEqualityRule, PicklableTaskRule, SpanContextRule
+from .lockorder import LockOrderRule
 from .typing_rules import AnnotationsRequiredRule, BareGenericRule
 from .variation import PureVariationRule
 
@@ -20,12 +23,16 @@ __all__ = ["default_rules"]
 
 _RULE_CLASSES: tuple[type[Rule], ...] = (
     LazyAcceleratorImportRule,  # BKD701
+    BackendPurityRule,       # BKD702
     UnseededRandomRule,      # DET101
     WallClockRule,           # DET102
     SetIterationRule,        # DET103
     LockGuardRule,           # CNC201
     LockHazardRule,          # CNC202
     CancelPollRule,          # CNC203
+    LockOrderRule,           # CNC204
+    CancelFlowRule,          # CNC205
+    ContextVarScopeRule,     # CTX901
     FloatEqualityRule,       # NUM301
     SpanContextRule,         # OBS401
     PicklableTaskRule,       # PCK501

@@ -1,0 +1,86 @@
+"""CNC205: interprocedural cancel-token propagation.
+
+CNC203 is a single-hop heuristic: a function accepting ``cancel`` must
+poll it *or pass the token to any callee*.  That lets a token die two
+calls deep — ``f(cancel)`` forwards to ``g(cancel)``, but ``g`` calls the
+actual candidate loop ``h`` without it, and serve-layer timeouts /
+``DELETE /v1/jobs/<id>`` silently stop interrupting the solve.
+
+This rule walks the resolved call graph instead: for every function that
+accepts a ``cancel`` parameter, every same-frame call to a project
+function that *also accepts cancel* and *transitively loops over work*
+must forward the token.  A loopy callee that cooperates (accepts
+``cancel``) but is invoked without it is exactly the place cancellation
+rots; a callee that does not accept the token at all is CNC203's
+problem at its own definition site, not the caller's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import build_callgraph, resolve_call
+from ..engine import ModuleContext, Project, Rule, Violation
+from ..ir import build_project_ir, module_name
+
+__all__ = ["CancelFlowRule"]
+
+_TOKEN_PARAMS = ("cancel", "check_cancel")
+
+
+def _forwards_token(call: ast.Call) -> bool:
+    """Whether *call* passes a cancel token through (by name or keyword)."""
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id in _TOKEN_PARAMS:
+            return True
+    for kw in call.keywords:
+        if kw.arg in _TOKEN_PARAMS:
+            return True
+        if isinstance(kw.value, ast.Name) and kw.value.id in _TOKEN_PARAMS:
+            return True
+    return False
+
+
+class CancelFlowRule(Rule):
+    """CNC205: forward ``cancel`` into every loopy callee that accepts it."""
+
+    rule_id = "CNC205"
+    severity = "error"
+    scope = ("core",)
+    summary = "cancel tokens must reach every transitive callee that loops over work"
+
+    def prepare(self, project: Project) -> None:
+        build_callgraph(build_project_ir(project), shared=project.shared)
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        ir = build_project_ir(project)
+        cg = build_callgraph(ir, shared=project.shared)
+        mod = ir.modules.get(ctx.rel)
+        if mod is None:
+            return
+        functions = list(mod.functions.values()) + [
+            m for cls in mod.classes.values() for m in cls.methods.values()
+        ]
+        for fn in sorted(functions, key=lambda f: f.node.lineno):
+            if not any(p in _TOKEN_PARAMS for p in fn.params):
+                continue
+            for site in fn.calls:
+                callee = resolve_call(site.chain, fn, ir)
+                if callee is None or callee.qualname == fn.qualname:
+                    continue
+                if not any(p in _TOKEN_PARAMS for p in callee.params):
+                    continue
+                if not cg.loop_reach(callee.qualname):
+                    continue
+                if _forwards_token(site.node):
+                    continue
+                label = f"{callee.cls}.{callee.name}" if callee.cls else callee.name
+                yield self.violation(
+                    ctx,
+                    site.node,
+                    f"{fn.name} holds a cancel token but calls {label} "
+                    f"({module_name(callee.rel)}) — which loops over work and accepts "
+                    "cancel — without forwarding it; timeouts and DELETE "
+                    "/v1/jobs/<id> cannot interrupt that call",
+                )

@@ -23,8 +23,11 @@ __all__ = ["LockGuardRule", "LockHazardRule", "CancelPollRule", "collect_lock_in
 
 _LOCK_INFO_KEY = "concurrency.lock_info"
 
-#: Constructors whose result is a mutual-exclusion primitive.
-_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+#: Constructors whose result is a mutual-exclusion primitive.  ``new_lock``
+#: is the sanitizer factory (``analysis/sanitizer.py``): it returns a plain
+#: or order-checked lock depending on REPRO_LOCK_SANITIZER, and the
+#: analyzer must see through it or go blind on the whole serve tier.
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "new_lock"}
 
 #: Constructors whose instances are safe to mutate without a lock
 #: (GIL-atomic mutations or dedicated synchronization primitives).
@@ -56,7 +59,16 @@ class ClassLockInfo:
 
 
 def _ctor_name(value: ast.expr) -> str | None:
-    """The simple constructor name of ``X(...)`` / ``mod.X(...)`` values."""
+    """The simple constructor name of ``X(...)`` / ``mod.X(...)`` values.
+
+    Sees through the shared-lock constructor pattern
+    ``self._lock = lock if lock is not None else threading.Lock()`` by
+    resolving the concrete branch of the ``IfExp`` — the attribute holds a
+    mutex either way, so lock-owning classes using the pattern must not
+    escape CNC201/CNC202.
+    """
+    if isinstance(value, ast.IfExp):
+        return _ctor_name(value.body) or _ctor_name(value.orelse)
     if isinstance(value, ast.Call):
         chain = attr_chain(value.func)
         if chain:

@@ -1,0 +1,197 @@
+"""CTX901: ContextVar scope hygiene.
+
+The project's two ambient states — the active compute backend
+(``repro.backend._ACTIVE``) and the ambient candidate cache
+(``repro.core.reuse._ACTIVE_CACHE``) — are ContextVars scoped by
+``use_backend()`` / ``use_candidate_cache()``.  A leaked scope is a
+cross-request contamination bug in the threaded serve tier: one request's
+backend choice or cache bleeds into the next request on the same thread.
+
+The contract, enforced here:
+
+* ``ContextVar.set()`` happens only inside a *scope helper* (a
+  ``@contextmanager`` function) or a ``activate_*`` function (the
+  documented pool-worker process-initializer convention, which installs
+  ambient state for a worker's whole lifetime on purpose).
+* Inside a scope helper the token is kept (``token = VAR.set(...)``) and
+  reset in a ``finally`` block, so the scope unwinds on *every* path —
+  including exceptions thrown by the body the helper wraps.
+* A scope helper's call result is never discarded: a bare
+  ``use_backend("numpy")`` statement silently does nothing (the generator
+  is never entered).  It must be used as ``with use_backend(...):`` (or
+  stored/passed to ``enter_context``, which the rule allows).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import attr_chain, walk_with_parents
+from ..engine import ModuleContext, Project, Rule, Violation
+from ..ir import build_project_ir
+
+__all__ = ["ContextVarScopeRule"]
+
+_HELPERS_KEY = "contextvars.scope_helpers"
+
+
+def _is_contextmanager(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = attr_chain(target)
+        if chain and chain[-1] in ("contextmanager", "asynccontextmanager"):
+            return True
+    return False
+
+
+def _enclosing_function(
+    ancestors: list[ast.AST],
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for node in reversed(ancestors):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def _collect_scope_helpers(project: Project) -> set[str]:
+    """Simple names of every ``@contextmanager`` helper that sets a
+    module ContextVar anywhere in the project."""
+    cached = project.shared.get(_HELPERS_KEY)
+    if isinstance(cached, set):
+        return cached
+    ir = build_project_ir(project)
+    helpers: set[str] = set()
+    for rel in sorted(ir.modules):
+        mod = ir.modules[rel]
+        if not mod.contextvars:
+            continue
+        for node in ast.walk(mod.ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_contextmanager(node):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    chain = attr_chain(sub.func)
+                    if (
+                        chain is not None
+                        and len(chain) == 2
+                        and chain[0] in mod.contextvars
+                        and chain[1] == "set"
+                    ):
+                        helpers.add(node.name)
+                        break
+    project.shared[_HELPERS_KEY] = helpers
+    return helpers
+
+
+class ContextVarScopeRule(Rule):
+    """CTX901: ContextVars are set only in scope helpers; tokens always reset."""
+
+    rule_id = "CTX901"
+    severity = "error"
+    scope = ()
+    summary = "ContextVar.set only in scope helpers; tokens reset in finally; with-managed"
+
+    def prepare(self, project: Project) -> None:
+        _collect_scope_helpers(project)
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        ir = build_project_ir(project)
+        mod = ir.modules.get(ctx.rel)
+        contextvars = mod.contextvars if mod is not None else set()
+        helpers = _collect_scope_helpers(project)
+
+        for node, ancestors in walk_with_parents(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            parent = ancestors[-1] if ancestors else None
+            # 1. `.set()` discipline on this module's ContextVars.
+            if len(chain) == 2 and chain[0] in contextvars and chain[1] == "set":
+                fn = _enclosing_function(ancestors)
+                if fn is None:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{chain[0]}.set(...) at module scope installs ambient state "
+                        "for the whole process; wrap it in a @contextmanager scope helper",
+                    )
+                elif fn.name.startswith("activate_"):
+                    pass  # sanctioned process-initializer convention
+                elif not _is_contextmanager(fn):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{chain[0]}.set(...) in {fn.name} leaks ambient state past "
+                        "this call; only @contextmanager scope helpers (or an "
+                        "activate_* process initializer) may set a ContextVar",
+                    )
+                else:
+                    yield from self._check_helper_shape(ctx, fn, node, parent, chain[0])
+            # 2. Scope-helper calls must not be discarded.
+            if (
+                chain[-1] in helpers
+                and len(chain) <= 2
+                and isinstance(parent, ast.Expr)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"result of scope helper {chain[-1]}(...) is discarded — the "
+                    "scope is never entered; use `with " + chain[-1] + "(...):`",
+                )
+
+    def _check_helper_shape(
+        self,
+        ctx: ModuleContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        set_call: ast.Call,
+        parent: ast.AST | None,
+        var: str,
+    ) -> Iterator[Violation]:
+        """Inside a scope helper: token kept and reset in a finally block."""
+        token: str | None = None
+        if (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            token = parent.targets[0].id
+        if token is None:
+            yield self.violation(
+                ctx,
+                set_call,
+                f"scope helper {fn.name} discards the token from {var}.set(...); "
+                "keep it (`token = ...`) and reset it in a finally block",
+            )
+            return
+        if not self._reset_in_finally(fn, var, token):
+            yield self.violation(
+                ctx,
+                set_call,
+                f"scope helper {fn.name} does not reset {var} on all paths; "
+                f"call {var}.reset({token}) inside a finally block so the scope "
+                "unwinds even when the body raises",
+            )
+
+    @staticmethod
+    def _reset_in_finally(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef, var: str, token: str
+    ) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    chain = attr_chain(sub.func)
+                    if chain != (var, "reset"):
+                        continue
+                    if any(isinstance(a, ast.Name) and a.id == token for a in sub.args):
+                        return True
+        return False

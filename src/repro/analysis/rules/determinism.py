@@ -6,7 +6,10 @@ candidate set, the greedy tie-breaks, and hence the reported utilities must
 be bit-stable across runs and across ``workers=N``.  These rules keep the
 three classic leaks out of the numeric core (``core/``, ``model/``,
 ``geometry/``): global/unseeded RNG state, wall-clock reads, and
-hash-order iteration.
+hash-order iteration.  The published entry points — ``benchmarks/`` and
+``examples/`` — are held to the same bar: a paper figure regenerated from
+a benchmark script must not drift with the date or ``PYTHONHASHSEED`` any
+more than the solver itself may.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from ..engine import ModuleContext, Project, Rule, Violation
 
 __all__ = ["UnseededRandomRule", "WallClockRule", "SetIterationRule"]
 
-_NUMERIC_SCOPE = ("core", "model", "geometry")
+_NUMERIC_SCOPE = ("core", "model", "geometry", "benchmarks", "examples")
 
 #: np.random members that construct *seedable* RNG state (allowed).
 _SEEDABLE = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}

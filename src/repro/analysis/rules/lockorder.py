@@ -1,0 +1,64 @@
+"""CNC204: project-wide lock-order inversion / deadlock-cycle detection.
+
+CNC202 flags nested acquisition *inside one class*.  This rule closes the
+cross-module gap: it builds the global lock-ordering graph (every lock in
+the project a node, aliasing through ``Condition(self._lock)`` and the
+shared ``lock=`` constructor parameter collapsed, edges discovered both
+intra-frame and through the resolved call graph) and reports every cycle.
+A cycle ``A -> B -> A`` means one code path acquires B while holding A and
+another acquires A while holding B — two threads interleaving those paths
+deadlock.  The report names **both witness acquisition paths** so the fix
+(a single lock-order, or lock sharing) is mechanical.
+
+The same graph is exported as the ``repro.lockgraph/v1`` artifact and
+seeds the runtime sanitizer (``analysis/sanitizer.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import ModuleContext, Project, Rule, Violation
+from ..lockgraph import LockOrderGraph, build_lock_order
+
+__all__ = ["LockOrderRule"]
+
+
+class LockOrderRule(Rule):
+    """CNC204: no cycles in the global lock-ordering graph."""
+
+    rule_id = "CNC204"
+    severity = "error"
+    scope = ()
+    summary = "no lock-order cycles across the project (global deadlock detection)"
+
+    def prepare(self, project: Project) -> None:
+        build_lock_order(project)
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Violation]:
+        graph = build_lock_order(project)
+        for cycle in graph.cycles:
+            first_witness = graph.edges[cycle[0]]
+            # Each cycle fires exactly once, anchored at its first witness.
+            if first_witness[0].rel != ctx.rel:
+                continue
+            yield self._cycle_violation(ctx, graph, cycle)
+
+    def _cycle_violation(
+        self, ctx: ModuleContext, graph: LockOrderGraph, cycle: tuple[tuple[str, str], ...]
+    ) -> Violation:
+        order = " -> ".join([cycle[0][0]] + [edge[1] for edge in cycle])
+        parts: list[str] = [f"lock-order cycle {order} (potential deadlock)."]
+        for frm, to in cycle:
+            witness = graph.edges[(frm, to)]
+            path = "; ".join(step.format() for step in witness)
+            parts.append(f"[{frm} then {to}]: {path}")
+        anchor = graph.edges[cycle[0]][0]
+        return Violation(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.rel,
+            line=anchor.line,
+            col=1,
+            message=" ".join(parts),
+        )

@@ -1,0 +1,196 @@
+"""Runtime lock-order sanitizer: the dynamic counterpart of CNC204.
+
+CNC204 proves the *statically resolvable* lock nestings acyclic; this
+module closes the loop at runtime.  When ``REPRO_LOCK_SANITIZER=1`` is
+set (the tier-1 suite enables it via ``tests/conftest.py``),
+:func:`new_lock` returns a :class:`SanitizedLock` — a thin lock proxy
+that maintains a per-thread held-lock stack and a process-wide observed
+lock-ordering graph.  Acquiring lock ``B`` while holding ``A`` records
+the edge ``A -> B``; an acquisition that would close a cycle in the
+combined (observed + statically seeded) graph raises
+:class:`LockOrderViolation` *before* blocking, so the test fails with
+both orders named instead of deadlocking.
+
+With the sanitizer disabled (the default, and production), ``new_lock``
+returns a plain ``threading.Lock`` — zero overhead, zero behavior change.
+
+The static lock-order graph (``repro lint --lock-graph``) can be
+installed with :func:`install_static_order` so a runtime acquisition that
+*inverts* a statically witnessed order is caught even when the other half
+of the cycle never executes in the test run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Iterable, Union
+
+__all__ = [
+    "SANITIZER_ENV_VAR",
+    "LockLike",
+    "LockOrderViolation",
+    "SanitizedLock",
+    "install_static_order",
+    "new_lock",
+    "observed_order",
+    "reset_order",
+    "sanitizer_enabled",
+]
+
+#: Environment variable that switches :func:`new_lock` to sanitized locks.
+SANITIZER_ENV_VAR = "REPRO_LOCK_SANITIZER"
+
+
+class LockOrderViolation(AssertionError):
+    """Acquiring this lock here contradicts an established lock order."""
+
+
+# Process-wide sanitizer state.  The ordering graph is shared across
+# threads (guarded by a plain internal lock that never participates in
+# the checked ordering); the held-lock stack is per-thread.
+_STATE_LOCK = threading.Lock()
+_ORDER: dict[str, set[str]] = {}  # edge: held name -> {acquired names}
+_HELD = threading.local()
+
+
+def sanitizer_enabled() -> bool:
+    """Whether ``REPRO_LOCK_SANITIZER`` asks for order-checked locks."""
+    return os.environ.get(SANITIZER_ENV_VAR, "").strip() not in ("", "0", "false", "no")
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    return stack
+
+
+def reset_order() -> None:
+    """Drop every recorded edge (test isolation)."""
+    with _STATE_LOCK:
+        _ORDER.clear()
+
+
+def observed_order() -> dict[str, tuple[str, ...]]:
+    """Snapshot of the current ordering graph (sorted, for assertions)."""
+    with _STATE_LOCK:
+        return {frm: tuple(sorted(tos)) for frm, tos in sorted(_ORDER.items())}
+
+
+def install_static_order(edges: Iterable[tuple[str, str]]) -> int:
+    """Seed the graph with statically derived edges; returns edges added.
+
+    Feed it the ``edges`` of a ``repro.lockgraph/v1`` document so runtime
+    acquisitions are checked against the *whole-program* order, not just
+    the nestings this process happened to execute first.
+    """
+    count = 0
+    with _STATE_LOCK:
+        for frm, to in edges:
+            if to not in _ORDER.setdefault(frm, set()):
+                _ORDER[frm].add(to)
+                count += 1
+    return count
+
+
+def _path_exists_locked(src: str, dst: str) -> list[str] | None:
+    """A path ``src -> ... -> dst`` in the edge graph, if one exists.
+
+    Caller holds ``_STATE_LOCK``.  Deterministic DFS (sorted successors).
+    """
+    if src == dst:
+        return [src]
+    seen: set[str] = {src}
+    stack: list[list[str]] = [[src]]
+    while stack:
+        path = stack.pop()
+        for nxt in sorted(_ORDER.get(path[-1], ())):
+            if nxt == dst:
+                return path + [nxt]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(path + [nxt])
+    return None
+
+
+def _note_acquire(name: str) -> None:
+    """Record/check ordering edges for acquiring *name* with current holds."""
+    held = _held_stack()
+    for h in held:
+        if h == name:
+            continue  # reentrant probe (Condition._is_owned); not an edge
+        with _STATE_LOCK:
+            inverse = _path_exists_locked(name, h)
+            if inverse is not None:
+                raise LockOrderViolation(
+                    f"lock-order inversion: acquiring {name!r} while holding {h!r}, "
+                    f"but the established order is {' -> '.join(inverse)} "
+                    f"(i.e. {name!r} before {h!r}); two threads interleaving these "
+                    "paths can deadlock"
+                )
+            _ORDER.setdefault(h, set()).add(name)
+
+
+class SanitizedLock:
+    """A named ``threading.Lock`` proxy that asserts lock ordering.
+
+    Supports the full lock protocol (``acquire``/``release``/context
+    manager/``locked``) so it can back a ``threading.Condition``.  The
+    ordering check runs *before* the underlying acquire, so an inversion
+    raises instead of deadlocking the test run.
+    """
+
+    def __init__(self, name: str, lock: Union[threading.Lock, None] = None) -> None:
+        self.name = name
+        self._inner = lock if lock is not None else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _note_acquire(self.name)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _held_stack().append(self.name)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        stack = _held_stack()
+        # Remove the most recent hold of this name (Condition.wait releases
+        # out of strict stack order).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == self.name:
+                del stack[i]
+                break
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"SanitizedLock({self.name!r})"
+
+
+#: What lock-taking call sites actually hold: a plain lock in production,
+#: the checking proxy under the sanitizer.
+LockLike = Union[threading.Lock, SanitizedLock]
+
+
+def new_lock(name: str) -> LockLike:
+    """A mutex for *name* (``"Class.attr"``), sanitized when enabled.
+
+    This is the project's lock factory seam: the serve tier and the reuse
+    cache create their locks through it, so setting
+    ``REPRO_LOCK_SANITIZER=1`` turns every lock in the process into an
+    order-checked one without touching call sites.  The analyzer treats
+    ``new_lock(...)`` exactly like ``threading.Lock()`` (it is registered
+    in the lock-constructor tables of CNC201/CNC202/CNC204).
+    """
+    if sanitizer_enabled():
+        return SanitizedLock(name)
+    return threading.Lock()

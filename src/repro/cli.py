@@ -257,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the registered rules and exit"
     )
+    lint.add_argument(
+        "--lock-graph",
+        type=str,
+        default=None,
+        metavar="OUT",
+        help="also write the repro.lockgraph/v1 JSON artifact to OUT",
+    )
 
     vary = sub.add_parser(
         "vary", help="scenario-diversity differential testing (docs/variation.md)"
@@ -298,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     vary.add_argument(
         "--shrink-evals", type=int, default=40, help="solver probes allowed per shrink"
+    )
+    vary.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="process-pool fan-out for invariant checks (report is identical for any N)",
     )
     vary.add_argument("--json", action="store_true", help="print the machine-readable report")
     vary.add_argument("--quiet", action="store_true", help="suppress progress output")
@@ -520,6 +534,8 @@ def _cmd_lint(args) -> int:
         argv.append("--strict")
     if args.list_rules:
         argv.append("--list-rules")
+    if args.lock_graph:
+        argv += ["--lock-graph", args.lock_graph]
     return lint_main(argv, prog="repro lint")
 
 
@@ -535,6 +551,7 @@ def _cmd_vary(args) -> int:
         "--invariants", args.invariants,
         "--out", args.out,
         "--shrink-evals", str(args.shrink_evals),
+        "--workers", str(args.workers),
     ]
     for flag in ("no_rotate", "json", "quiet", "list_families", "list_invariants"):
         if getattr(args, flag):

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
+from ..analysis.sanitizer import LockLike, new_lock
 from ..io import canonical_extraction_hash, canonical_json
 from ..model.entities import Strategy
 from ..model.network import Scenario
@@ -262,7 +263,7 @@ class CandidateSetCache:
         *,
         directory: str | os.PathLike[str] | None = None,
         metrics: MetricsRegistry | None = None,
-        lock: threading.Lock | None = None,
+        lock: LockLike | None = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
@@ -276,7 +277,7 @@ class CandidateSetCache:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Guards ``_entries``/``_bytes`` *and* the registry (one lock per
         #: registry; see the class docstring).
-        self._lock = lock if lock is not None else threading.Lock()
+        self._lock = lock if lock is not None else new_lock("CandidateSetCache._lock")
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._bytes = 0
 

@@ -51,10 +51,10 @@ def git_sha(cwd: str | Path | None = None) -> str | None:
         return None
 
 
-_LINT_CACHE: dict[str, int] | None = None
+_LINT_CACHE: dict[str, Any] | None = None
 
 
-def _lint_meta() -> dict[str, int] | None:
+def _lint_meta() -> dict[str, Any] | None:
     """Cached ``repro.analysis`` summary for the installed package.
 
     One lint pass per process: provenance stamping must stay cheap for

@@ -66,6 +66,7 @@ from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..analysis.sanitizer import new_lock
 from ..backend import backend_status, resolve_backend
 from ..core import CandidateSetCache, solve_hipo
 from ..core.reuse import extraction_cache_key
@@ -159,7 +160,7 @@ class SolveService:
         #: One lock per registry: the registry is not thread-safe, and the
         #: caches and pool record onto the same instance, so they must share
         #: this lock (separate locks would guard nothing).
-        self._metrics_lock = threading.Lock()
+        self._metrics_lock = new_lock("SolveService._metrics_lock")
         self.queue = JobQueue(queue_size)
         self.cache = SolveCache(
             cache_entries, cache_bytes, metrics=self.metrics, lock=self._metrics_lock

@@ -29,6 +29,7 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from ..analysis.sanitizer import LockLike, new_lock
 from ..obs import MetricsRegistry
 
 __all__ = ["SolveCache"]
@@ -43,7 +44,7 @@ class SolveCache:
         max_bytes: int = 64 * 1024 * 1024,
         *,
         metrics: MetricsRegistry | None = None,
-        lock: threading.Lock | None = None,
+        lock: LockLike | None = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
@@ -55,7 +56,7 @@ class SolveCache:
         #: Guards the entries *and* the registry.  Callers sharing
         #: *metrics* with other components must share this lock too —
         #: a non-thread-safe registry needs exactly one lock.
-        self._lock = lock if lock is not None else threading.Lock()
+        self._lock = lock if lock is not None else new_lock("SolveCache._lock")
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._bytes = 0
 

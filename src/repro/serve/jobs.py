@@ -34,6 +34,8 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
+
+from ..analysis.sanitizer import new_lock
 from typing import Any
 
 __all__ = [
@@ -138,7 +140,7 @@ class JobQueue:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self.max_history = max(max_history, 1)
-        self._lock = threading.Lock()
+        self._lock = new_lock("JobQueue._lock")
         self._not_empty = threading.Condition(self._lock)
         self._heap: list[tuple[int, int, Job]] = []  # (-priority, seq, job)
         self._seq = itertools.count()

@@ -38,6 +38,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from ..analysis.sanitizer import LockLike, new_lock
 from ..core import SolveCancelled
 from ..obs import MetricsRegistry, Tracer
 from .jobs import Job, JobQueue, JobState
@@ -58,7 +59,7 @@ class SolverPool:
         *,
         size: int = 2,
         metrics: MetricsRegistry | None = None,
-        lock: threading.Lock | None = None,
+        lock: LockLike | None = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"pool size must be positive, got {size}")
@@ -68,7 +69,7 @@ class SolverPool:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Guards the registry, ``_threads`` and ``_running``.  Callers
         #: sharing *metrics* must share this lock too.
-        self._lock = lock if lock is not None else threading.Lock()
+        self._lock = lock if lock is not None else new_lock("SolverPool._lock")
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._running = 0

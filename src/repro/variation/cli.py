@@ -60,6 +60,13 @@ def build_parser(prog: str = "repro vary") -> argparse.ArgumentParser:
     parser.add_argument(
         "--shrink-evals", type=int, default=40, help="solver probes allowed per shrink"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool fan-out for invariant checks (report is identical for any N)",
+    )
     parser.add_argument("--json", action="store_true", help="print the machine-readable report")
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
@@ -120,6 +127,7 @@ def main(argv: list[str] | None = None, prog: str = "repro vary") -> int:
             rotate=not args.no_rotate,
             out_dir=args.out,
             shrink_evals=args.shrink_evals,
+            workers=args.workers,
         )
     except (KeyError, ValueError) as exc:
         print(f"{prog}: {exc}", file=sys.stderr)

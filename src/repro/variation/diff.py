@@ -13,12 +13,16 @@ Pass ``rotate=False`` to run every invariant on every scenario.
 
 The whole run is a pure function of its :class:`DiffConfig` — the report,
 including the digest over all provenance stamps, is bit-reproducible, which
-is exactly what the CI smoke asserts by running twice.
+is exactly what the CI smoke asserts by running twice.  ``workers > 1``
+fans the invariant checks out over a process pool but keeps all report
+bookkeeping (digest, rotation, shrinking, repro dumps) in the parent in
+corpus order, so the report is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import hashlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -37,7 +41,12 @@ REPORT_SCHEMA = "repro.variation.report/v1"
 
 @dataclass(frozen=True)
 class DiffConfig:
-    """One differential run, fully determined by these fields."""
+    """One differential run, fully determined by these fields.
+
+    ``workers`` is an execution knob, not part of the run's identity: the
+    report (digest included) is byte-identical for any worker count, so it
+    is deliberately absent from the serialized config block.
+    """
 
     families: tuple[str, ...]
     budget: int = 100
@@ -48,10 +57,13 @@ class DiffConfig:
     rotate: bool = True
     out_dir: str | None = None
     shrink_evals: int = 40
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.budget <= 0:
             raise ValueError("budget must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         if self.strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {self.strategy!r} (known: {STRATEGIES})")
         unknown = sorted(set(self.invariants) - set(INVARIANTS))
@@ -144,6 +156,38 @@ class DiffReport:
         return "\n".join(lines)
 
 
+def _check_task(
+    item: tuple[str, VariedScenario, InvariantContext],
+) -> InvariantViolation | None:
+    """One (invariant, scenario) check, as a process-pool task.
+
+    Module-level so it pickles (PCK501); pure in its arguments, so the
+    fan-out cannot change any result relative to a serial run.
+    """
+    name, varied, ctx = item
+    return check_invariant(name, varied, ctx)
+
+
+def _fan_out_checks(
+    corpus: list[VariedScenario],
+    plan: list[tuple[str, ...]],
+    ctx: InvariantContext,
+    workers: int,
+) -> list[InvariantViolation | None]:
+    """Precompute every invariant check on a process pool, in corpus order.
+
+    ``ProcessPoolExecutor.map`` preserves input order, so the parent's
+    bookkeeping loop consumes results exactly as a serial run would produce
+    them.  Requires *ctx* to be picklable (the default context is).
+    """
+    tasks = [
+        (name, varied, ctx) for varied, names in zip(corpus, plan) for name in names
+    ]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        chunksize = max(1, len(tasks) // (workers * 4))
+        return list(pool.map(_check_task, tasks, chunksize=chunksize))
+
+
 def run_differential(
     config: DiffConfig,
     *,
@@ -154,12 +198,24 @@ def run_differential(
 
     *ctx* overrides the invariant context (the bug-injection tests pass
     one with a broken solver shim); *progress* is called as
-    ``progress(done, total)`` after each scenario.
+    ``progress(done, total)`` after each scenario.  With
+    ``config.workers > 1`` the checks themselves run on a process pool
+    (*ctx* must then be picklable), while shrinking and repro dumps stay
+    in the parent — reports are byte-identical across worker counts.
     """
     if ctx is None:
         ctx = InvariantContext(eps=config.eps)
     corpus = generate_corpus(
         config.families, budget=config.budget, seed=config.seed, strategy=config.strategy
+    )
+    plan: list[tuple[str, ...]] = [
+        (config.invariants[i % len(config.invariants)],) if config.rotate else config.invariants
+        for i in range(len(corpus))
+    ]
+    precomputed = (
+        iter(_fan_out_checks(corpus, plan, ctx, config.workers))
+        if config.workers > 1
+        else None
     )
     report = DiffReport(config=config)
     report.scenarios = len(corpus)
@@ -169,13 +225,11 @@ def run_differential(
         digest.update(varied.stamp().encode("utf-8"))
         hashes.add(varied.scenario_hash())
         report.families_seen[varied.family] = report.families_seen.get(varied.family, 0) + 1
-        if config.rotate:
-            names = (config.invariants[i % len(config.invariants)],)
-        else:
-            names = config.invariants
-        for name in names:
+        for name in plan[i]:
             report.checks[name] = report.checks.get(name, 0) + 1
-            violation = check_invariant(name, varied, ctx)
+            violation = (
+                next(precomputed) if precomputed is not None else check_invariant(name, varied, ctx)
+            )
             if violation is None:
                 continue
             minimal, shrunk_violation, evals = shrink_failure(

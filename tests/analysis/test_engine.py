@@ -174,3 +174,99 @@ def test_main_list_rules(capsys):
     out = capsys.readouterr().out
     for rid in ("DET101", "CNC201", "NUM301", "OBS401", "PCK501", "TYP601"):
         assert rid in out
+
+
+def test_unknown_rule_id_raises_analysis_error(lint_tree):
+    with pytest.raises(AnalysisError, match="unknown rule id 'NOPE'"):
+        lint_tree({"core/a.py": _BAD_DET101}, select=["NOPE"])
+    with pytest.raises(AnalysisError, match="unknown rule id 'DET10X'"):
+        lint_tree({"core/a.py": _BAD_DET101}, ignore=["DET10X"])
+    # Prefixes that match at least one registered rule stay valid.
+    lint_tree({"core/a.py": _BAD_DET101}, select=["DET", "SUP001"])
+
+
+def test_unknown_rule_id_exits_2_via_cli(tmp_path):
+    """The exact CI invocation: a --select typo must fail usage-style."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    (tmp_path / "a.py").write_text("x = 1\n")
+    repo_root = Path(__file__).resolve().parents[2]
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(tmp_path), "--select", "NOPE"],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 2
+    assert "NOPE" in proc.stderr
+    assert "unknown rule id" in proc.stderr
+
+
+def test_sup001_multi_rule_noqa_reports_only_unused_ids(lint_tree):
+    result = lint_tree(
+        {
+            "core/a.py": """\
+    import random
+    import time
+
+    def draw():
+        return random.random() + time.time()  # repro: noqa[DET101,DET102,CNC201] -- fixture
+    """
+        }
+    )
+    # DET101/DET102 both fire and are suppressed; CNC201 never fires here.
+    assert rule_ids(result) == [UNUSED_SUPPRESSION_ID]
+    msg = result.violations[0].message
+    assert "CNC201" in msg
+    assert "DET101" not in msg and "DET102" not in msg
+
+
+def test_noqa_works_inside_decorated_and_nested_functions(lint_tree):
+    result = lint_tree(
+        {
+            "core/a.py": """\
+    import functools
+    import random
+
+    @functools.lru_cache(maxsize=None)
+    def cached_draw():
+        return random.random()  # repro: noqa[DET101] -- fixture
+
+    def outer():
+        def inner():
+            return random.random()  # repro: noqa[DET101] -- fixture
+
+        return inner
+    """
+        },
+        select=["DET101"],
+    )
+    assert result.violations == []
+    strict = lint_tree(
+        {
+            "core/b.py": """\
+    import functools
+    import random
+
+    @functools.lru_cache(maxsize=None)
+    def cached_draw():
+        return random.random()
+    """
+        },
+        select=["DET101"],
+    )
+    assert rule_ids(strict) == ["DET101"]
+
+
+def test_lint_summary_reports_per_family_rule_counts(tmp_path):
+    from repro.analysis import lint_summary
+
+    summary = lint_summary([tmp_path])
+    assert summary["rules"] == sum(summary["families"].values())
+    for family in ("BKD", "CNC", "DET", "TYP"):
+        assert summary["families"][family] >= 2
+    assert summary["families"]["CTX"] == 1
+    assert summary["errors"] == 0 and summary["warnings"] == 0

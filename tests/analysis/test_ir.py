@@ -1,0 +1,164 @@
+"""Whole-program IR and call-graph resolution (``analysis/ir`` + ``callgraph``)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.engine import Project, collect_files, load_module
+from repro.analysis.ir import build_project_ir, module_name
+
+
+def build_ir(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    project = Project(modules=[load_module(root, f) for root, f in collect_files([tmp_path])])
+    return build_project_ir(project)
+
+
+def test_module_name_of_display_paths():
+    assert module_name("serve/api.py") == "serve.api"
+    assert module_name("backend/__init__.py") == "backend"
+    assert module_name("cli.py") == "cli"
+
+
+def test_resolve_symbol_chases_init_reexports(tmp_path):
+    ir = build_ir(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from .impl import helper\n",
+            "pkg/impl.py": "def helper():\n    return 1\n",
+            "main.py": "from pkg import helper\n",
+        },
+    )
+    fn = ir.resolve_symbol("pkg", "helper")
+    assert fn is not None and fn.qualname == "pkg.impl:helper"
+    # The importing module's local name maps to the package, not the impl.
+    assert ir.by_modname["main"].imports["helper"] == ("pkg", "helper")
+
+
+def test_condition_shares_the_underlying_lock(tmp_path):
+    ir = build_ir(
+        tmp_path,
+        {
+            "q.py": """\
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._not_empty = threading.Condition(self._lock)
+            """
+        },
+    )
+    assert ir.canonical_lock("Queue._not_empty") == ir.canonical_lock("Queue._lock")
+    aliases = ir.lock_aliases()
+    rep = ir.canonical_lock("Queue._lock")
+    assert aliases[rep] == ("Queue._lock", "Queue._not_empty")
+
+
+def test_ctor_lock_param_aliases_across_classes(tmp_path):
+    ir = build_ir(
+        tmp_path,
+        {
+            "cache.py": """\
+            import threading
+
+            class Cache:
+                def __init__(self, lock=None):
+                    self._lock = lock if lock is not None else threading.Lock()
+            """,
+            "svc.py": """\
+            import threading
+            from cache import Cache
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.cache = Cache(lock=self._lock)
+            """,
+        },
+    )
+    assert ir.canonical_lock("Cache._lock") == ir.canonical_lock("Service._lock")
+    # The concretely-constructed lock wins the representative election.
+    assert ir.canonical_lock("Cache._lock") == "Service._lock"
+
+
+def test_lock_reach_is_transitive_with_witness_path(tmp_path):
+    ir = build_ir(
+        tmp_path,
+        {
+            "locks.py": """\
+            import threading
+
+            GUARD = threading.Lock()
+
+            def inner():
+                with GUARD:
+                    return 1
+            """,
+            "outer.py": """\
+            from locks import inner
+
+            def run():
+                return inner()
+            """,
+        },
+    )
+    cg = build_callgraph(ir)
+    reach = cg.lock_reach("outer:run")
+    assert set(reach) == {"locks.GUARD"}
+    steps = [s.format() for s in reach["locks.GUARD"]]
+    assert steps[0].startswith("outer.py:") and "run calls inner" in steps[0]
+    assert steps[1].startswith("locks.py:") and "inner acquires locks.GUARD" in steps[1]
+
+
+def test_loop_reach_is_transitive(tmp_path):
+    ir = build_ir(
+        tmp_path,
+        {
+            "work.py": """\
+            def spin():
+                while True:
+                    pass
+
+            def middle():
+                spin()
+
+            def flat():
+                return 1
+            """
+        },
+    )
+    cg = build_callgraph(ir)
+    assert cg.loop_reach("work:spin")
+    assert cg.loop_reach("work:middle")
+    assert not cg.loop_reach("work:flat")
+
+
+def test_self_attr_method_calls_resolve_through_attr_types(tmp_path):
+    ir = build_ir(
+        tmp_path,
+        {
+            "a.py": """\
+            from b import Store
+
+            class Queue:
+                def __init__(self):
+                    self.store = Store()
+
+                def push(self):
+                    self.store.flush()
+            """,
+            "b.py": """\
+            class Store:
+                def flush(self):
+                    return 1
+            """,
+        },
+    )
+    cg = build_callgraph(ir)
+    callees = [callee for callee, _ in cg.callees("a:Queue.push")]
+    assert callees == ["b:Store.flush"]

@@ -1,0 +1,173 @@
+"""The ``repro.lockgraph/v1`` artifact: determinism, schema, CLI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import default_source_root
+from repro.analysis.lockgraph import (
+    LOCKGRAPH_SCHEMA,
+    build_lock_graph,
+    validate_lock_graph,
+    write_lock_graph,
+)
+
+FIXTURE = {
+    "jobs.py": """\
+    import threading
+
+    from store import Store
+
+    class Queue:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._not_empty = threading.Condition(self._lock)
+            self.store = Store()
+
+        def push(self):
+            with self._lock:
+                self.store.flush()
+    """,
+    "store.py": """\
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def flush(self):
+            with self._lock:
+                return 1
+    """,
+}
+
+
+def write_fixture(tmp_path: Path) -> Path:
+    for rel, source in FIXTURE.items():
+        (tmp_path / rel).write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def test_lock_graph_document_shape(tmp_path):
+    doc = build_lock_graph([write_fixture(tmp_path)])
+    assert doc["schema"] == LOCKGRAPH_SCHEMA
+    locks = {lock["id"]: lock["aliases"] for lock in doc["locks"]}
+    assert locks["Queue._lock"] == ["Queue._lock", "Queue._not_empty"]
+    assert locks["Store._lock"] == ["Store._lock"]
+    assert [(e["from"], e["to"]) for e in doc["edges"]] == [("Queue._lock", "Store._lock")]
+    witness = doc["edges"][0]["witness"]
+    assert witness[0]["path"] == "jobs.py" and "acquires Queue._lock" in witness[0]["text"]
+    assert witness[-1]["path"] == "store.py" and "acquires Store._lock" in witness[-1]["text"]
+    assert doc["cycles"] == []
+    validate_lock_graph(doc)
+
+
+def test_lock_graph_serialization_is_byte_identical(tmp_path):
+    root = write_fixture(tmp_path)
+    out1 = write_lock_graph(build_lock_graph([root]), tmp_path / "g1.json")
+    out2 = write_lock_graph(build_lock_graph([root]), tmp_path / "g2.json")
+    b1, b2 = out1.read_bytes(), out2.read_bytes()
+    assert b1 == b2
+    assert b1.endswith(b"\n")
+
+
+def test_lock_graph_round_trips_through_validator(tmp_path):
+    root = write_fixture(tmp_path)
+    out = write_lock_graph(build_lock_graph([root]), tmp_path / "graph.json")
+    validate_lock_graph(json.loads(out.read_text()))
+
+
+def test_validator_rejects_malformed_documents():
+    with pytest.raises(ValueError, match="schema"):
+        validate_lock_graph({"schema": "bogus", "locks": [], "edges": [], "cycles": []})
+    with pytest.raises(ValueError, match="unknown lock"):
+        validate_lock_graph(
+            {
+                "schema": LOCKGRAPH_SCHEMA,
+                "locks": [],
+                "edges": [{"from": "A", "to": "B", "witness": [{"path": "a.py", "line": 1, "text": "t"}]}],
+                "cycles": [],
+            }
+        )
+    with pytest.raises(ValueError, match="witness"):
+        validate_lock_graph(
+            {
+                "schema": LOCKGRAPH_SCHEMA,
+                "locks": [{"id": "A", "aliases": ["A"]}, {"id": "B", "aliases": ["B"]}],
+                "edges": [{"from": "A", "to": "B", "witness": []}],
+                "cycles": [],
+            }
+        )
+    with pytest.raises(ValueError, match="cycle edge"):
+        validate_lock_graph(
+            {
+                "schema": LOCKGRAPH_SCHEMA,
+                "locks": [{"id": "A", "aliases": ["A"]}],
+                "edges": [],
+                "cycles": [{"locks": ["A"], "edges": [{"from": "A", "to": "A"}]}],
+            }
+        )
+
+
+def test_cycles_are_reported_in_the_document(tmp_path):
+    (tmp_path / "m.py").write_text(
+        textwrap.dedent(
+            """\
+            import threading
+
+            LOCK_A = threading.Lock()
+            LOCK_B = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    with LOCK_B:
+                        pass
+
+            def backward():
+                with LOCK_B:
+                    with LOCK_A:
+                        pass
+            """
+        )
+    )
+    doc = build_lock_graph([tmp_path])
+    validate_lock_graph(doc)
+    assert len(doc["cycles"]) == 1
+    cycle = doc["cycles"][0]
+    assert cycle["locks"] == ["m.LOCK_A", "m.LOCK_B"]
+    assert len(cycle["edges"]) == 2
+
+
+def test_cli_lock_graph_flag_writes_validated_artifact(tmp_path):
+    out = tmp_path / "lockgraph.json"
+    repo_root = Path(__file__).resolve().parents[2]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "lint",
+            str(default_source_root()),
+            "--select",
+            "CNC204",
+            "--lock-graph",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    validate_lock_graph(doc)
+    assert doc["cycles"] == []
+    # src/repro's serve locks collapse onto the shared ctor lock.
+    ids = {lock["id"] for lock in doc["locks"]}
+    assert "JobQueue._lock" in ids

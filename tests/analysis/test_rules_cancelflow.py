@@ -1,0 +1,120 @@
+"""CNC205: interprocedural cancel-token propagation."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+def test_cnc205_flags_dropped_token_two_hops_deep(lint_tree):
+    # CNC203's single-hop heuristic is satisfied here (run forwards the
+    # token to helper); the interprocedural rule catches helper dropping it
+    # before the actual work loop.
+    result = lint_tree(
+        {
+            "core/solve.py": """\
+            def run(cancel=None):
+                return helper(cancel)
+
+            def helper(cancel=None):
+                return work()
+
+            def work(cancel=None):
+                total = 0
+                for i in range(10):
+                    total += i
+                return total
+            """
+        },
+        select=["CNC205"],
+    )
+    assert rule_ids(result) == ["CNC205"]
+    msg = result.violations[0].message
+    assert "helper" in msg and "work" in msg
+    assert "without forwarding" in msg
+    assert "DELETE" in msg
+
+
+def test_cnc205_flags_transitively_loopy_callee(lint_tree):
+    # The callee itself has no loop, but reaches one through its own calls.
+    result = lint_tree(
+        {
+            "core/deep.py": """\
+            def entry(cancel=None):
+                return middle()
+
+            def middle(cancel=None):
+                return spin()
+
+            def spin():
+                while True:
+                    pass
+            """
+        },
+        select=["CNC205"],
+    )
+    assert rule_ids(result) == ["CNC205"]
+    assert "middle" in result.violations[0].message
+
+
+def test_cnc205_clean_when_token_is_forwarded(lint_tree):
+    result = lint_tree(
+        {
+            "core/good.py": """\
+            def run(cancel=None):
+                helper(cancel)
+                return work(cancel=cancel)
+
+            def helper(cancel=None):
+                return work(cancel)
+
+            def work(cancel=None):
+                for i in range(10):
+                    pass
+            """
+        },
+        select=["CNC205"],
+    )
+    assert result.violations == []
+
+
+def test_cnc205_ignores_callees_that_do_not_cooperate(lint_tree):
+    # A loopy callee without a cancel parameter is CNC203's problem at its
+    # own definition site; the caller cannot forward a token it won't take.
+    # A cancel-accepting callee that never loops needs no token either.
+    result = lint_tree(
+        {
+            "core/mixed.py": """\
+            def run(cancel=None):
+                crunch()
+                return fmt()
+
+            def crunch():
+                for i in range(10):
+                    pass
+
+            def fmt(cancel=None):
+                return "x"
+            """
+        },
+        select=["CNC205"],
+    )
+    assert result.violations == []
+
+
+def test_cnc205_out_of_scope_outside_core(lint_tree):
+    result = lint_tree(
+        {
+            "serve/api.py": """\
+            def run(cancel=None):
+                return work()
+
+            def work(cancel=None):
+                for i in range(10):
+                    pass
+            """
+        },
+        select=["CNC205"],
+    )
+    assert result.violations == []

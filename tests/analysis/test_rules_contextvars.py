@@ -1,0 +1,164 @@
+"""CTX901: ContextVar scope hygiene."""
+
+from __future__ import annotations
+
+
+def rule_ids(result):
+    return [v.rule_id for v in result.violations]
+
+
+GOOD_HELPER = """\
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+_ACTIVE = ContextVar("active", default=None)
+
+@contextmanager
+def use_thing(value):
+    token = _ACTIVE.set(value)
+    try:
+        yield value
+    finally:
+        _ACTIVE.reset(token)
+"""
+
+
+def test_ctx901_clean_on_canonical_scope_helper(lint_tree):
+    result = lint_tree({"state.py": GOOD_HELPER}, select=["CTX901"])
+    assert result.violations == []
+
+
+def test_ctx901_flags_set_outside_scope_helper(lint_tree):
+    result = lint_tree(
+        {
+            "state.py": GOOD_HELPER
+            + """\
+
+def set_thing(value):
+    _ACTIVE.set(value)
+"""
+        },
+        select=["CTX901"],
+    )
+    assert rule_ids(result) == ["CTX901"]
+    assert "leaks ambient state" in result.violations[0].message
+
+
+def test_ctx901_flags_module_scope_set(lint_tree):
+    result = lint_tree(
+        {
+            "state.py": """\
+            from contextvars import ContextVar
+
+            _ACTIVE = ContextVar("active", default=None)
+            _ACTIVE.set("numpy")
+            """
+        },
+        select=["CTX901"],
+    )
+    assert rule_ids(result) == ["CTX901"]
+    assert "module scope" in result.violations[0].message
+
+
+def test_ctx901_flags_discarded_token(lint_tree):
+    result = lint_tree(
+        {
+            "state.py": """\
+            from contextlib import contextmanager
+            from contextvars import ContextVar
+
+            _ACTIVE = ContextVar("active", default=None)
+
+            @contextmanager
+            def use_thing(value):
+                _ACTIVE.set(value)
+                yield value
+            """
+        },
+        select=["CTX901"],
+    )
+    assert rule_ids(result) == ["CTX901"]
+    assert "discards the token" in result.violations[0].message
+
+
+def test_ctx901_flags_reset_outside_finally(lint_tree):
+    # Reset on the fall-through path only: an exception in the body leaks
+    # the scope.
+    result = lint_tree(
+        {
+            "state.py": """\
+            from contextlib import contextmanager
+            from contextvars import ContextVar
+
+            _ACTIVE = ContextVar("active", default=None)
+
+            @contextmanager
+            def use_thing(value):
+                token = _ACTIVE.set(value)
+                yield value
+                _ACTIVE.reset(token)
+            """
+        },
+        select=["CTX901"],
+    )
+    assert rule_ids(result) == ["CTX901"]
+    assert "finally" in result.violations[0].message
+
+
+def test_ctx901_allows_activate_initializers(lint_tree):
+    # Pool-worker process initializers install ambient state for the
+    # worker's whole lifetime on purpose.
+    result = lint_tree(
+        {
+            "state.py": GOOD_HELPER
+            + """\
+
+def activate_thing(value):
+    _ACTIVE.set(value)
+"""
+        },
+        select=["CTX901"],
+    )
+    assert result.violations == []
+
+
+def test_ctx901_flags_bare_helper_call(lint_tree):
+    result = lint_tree(
+        {
+            "state.py": GOOD_HELPER,
+            "caller.py": """\
+            from state import use_thing
+
+            def setup():
+                use_thing("numpy")
+            """,
+        },
+        select=["CTX901"],
+    )
+    assert rule_ids(result) == ["CTX901"]
+    v = result.violations[0]
+    assert v.path == "caller.py"
+    assert "never entered" in v.message and "with use_thing" in v.message
+
+
+def test_ctx901_allows_with_and_assignment_forms(lint_tree):
+    # `with use_thing(...)` enters the scope; the conditional-assignment
+    # form (sweeps.py) stores the manager for a later `with`.
+    result = lint_tree(
+        {
+            "state.py": GOOD_HELPER,
+            "caller.py": """\
+            import contextlib
+
+            from state import use_thing
+
+            def run(flag):
+                scope = use_thing("numpy") if flag else contextlib.nullcontext()
+                with scope:
+                    with use_thing("numba"):
+                        return 1
+            """,
+        },
+        select=["CTX901"],
+    )
+    assert result.violations == []

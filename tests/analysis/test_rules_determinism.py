@@ -131,3 +131,41 @@ def test_det103_clean_on_sorted_iteration(lint_tree):
         select=["DET103"],
     )
     assert result.violations == []
+
+
+# ------------------------------------------------ published entry points --
+
+
+def test_det_rules_cover_benchmarks_and_examples(lint_tree):
+    # Figure scripts are part of the reproducibility surface: the same
+    # RNG/wall-clock/hash-order bans apply under benchmarks/ and examples/.
+    result = lint_tree(
+        {
+            "benchmarks/bench_thing.py": """\
+    import random
+
+    def sample():
+        return random.random()
+    """,
+            "examples/demo.py": """\
+    import time
+
+    def stamp():
+        return time.time(), [x for x in {1, 2}]
+    """,
+        },
+        select=["DET"],
+    )
+    assert sorted(rule_ids(result)) == ["DET101", "DET102", "DET103"]
+
+
+def test_repo_benchmarks_and_examples_are_det_clean():
+    from pathlib import Path
+
+    from repro.analysis import run_analysis
+
+    repo_root = Path(__file__).resolve().parents[2]
+    result = run_analysis(
+        [repo_root / "benchmarks", repo_root / "examples"], select=["DET"]
+    )
+    assert result.violations == []

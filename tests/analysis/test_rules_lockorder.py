@@ -1,0 +1,174 @@
+"""CNC204: global lock-order cycle detection."""
+
+from __future__ import annotations
+
+# A real two-lock deadlock: Queue.push acquires Store._lock while holding
+# Queue._lock (via self.store.flush()), Store.drain acquires Queue._lock
+# while holding Store._lock (via self.queue.push()).  Two threads entering
+# from different sides block forever.
+CYCLE_FIXTURE = {
+    "jobs.py": """\
+    import threading
+
+    from store import Store
+
+    class Queue:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.store = Store()
+
+        def push(self):
+            with self._lock:
+                self.store.flush()
+    """,
+    "store.py": """\
+    import threading
+
+    from jobs import Queue
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.queue = Queue()
+
+        def flush(self):
+            with self._lock:
+                return 1
+
+        def drain(self):
+            with self._lock:
+                self.queue.push()
+    """,
+}
+
+
+def test_cnc204_reports_cycle_with_both_witness_paths(lint_tree):
+    result = lint_tree(dict(CYCLE_FIXTURE), select=["CNC204"])
+    assert [v.rule_id for v in result.violations] == ["CNC204"]
+    msg = result.violations[0].message
+    assert "lock-order cycle Queue._lock -> Store._lock -> Queue._lock" in msg
+    assert "potential deadlock" in msg
+    # Both directions of the cycle carry their own witness acquisition path.
+    assert "[Queue._lock then Store._lock]" in msg
+    assert "[Store._lock then Queue._lock]" in msg
+    assert "jobs.py:" in msg and "store.py:" in msg
+    assert "push acquires Queue._lock" in msg
+    assert "drain acquires Store._lock" in msg
+
+
+def test_cnc204_fires_once_per_cycle(lint_tree):
+    # Two files participate; the cycle must not be double-reported.
+    result = lint_tree(dict(CYCLE_FIXTURE), select=["CNC204"])
+    assert len(result.violations) == 1
+
+
+def test_cnc204_clean_on_consistent_order(lint_tree):
+    result = lint_tree(
+        {
+            "jobs.py": """\
+            import threading
+
+            from store import Store
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.store = Store()
+
+                def push(self):
+                    with self._lock:
+                        self.store.flush()
+            """,
+            "store.py": """\
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self):
+                    with self._lock:
+                        return 1
+            """,
+        },
+        select=["CNC204"],
+    )
+    assert result.violations == []
+
+
+def test_cnc204_shared_ctor_lock_is_one_node(lint_tree):
+    # The serve-tier sharing pattern: Cache takes the owner's lock through
+    # its constructor, so "nested" acquisition is reentry on one mutex, not
+    # an ordering edge, and must not produce a cycle.
+    result = lint_tree(
+        {
+            "cache.py": """\
+            import threading
+
+            class Cache:
+                def __init__(self, lock=None):
+                    self._lock = lock if lock is not None else threading.Lock()
+
+                def get(self):
+                    with self._lock:
+                        return 1
+            """,
+            "svc.py": """\
+            import threading
+
+            from cache import Cache
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.cache = Cache(lock=self._lock)
+
+                def snapshot(self):
+                    with self._lock:
+                        return self.cache.get()
+            """,
+        },
+        select=["CNC204"],
+    )
+    assert result.violations == []
+
+
+def test_cnc204_module_lock_cycle_via_calls(lint_tree):
+    result = lint_tree(
+        {
+            "m1.py": """\
+            import threading
+
+            import m2
+
+            LOCK_A = threading.Lock()
+
+            def forward():
+                with LOCK_A:
+                    m2.backward_inner()
+
+            def forward_inner():
+                with LOCK_A:
+                    return 1
+            """,
+            "m2.py": """\
+            import threading
+
+            import m1
+
+            LOCK_B = threading.Lock()
+
+            def backward():
+                with LOCK_B:
+                    m1.forward_inner()
+
+            def backward_inner():
+                with LOCK_B:
+                    return 1
+            """,
+        },
+        select=["CNC204"],
+    )
+    assert [v.rule_id for v in result.violations] == ["CNC204"]
+    msg = result.violations[0].message
+    assert "m1.LOCK_A" in msg and "m2.LOCK_B" in msg

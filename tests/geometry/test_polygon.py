@@ -91,6 +91,23 @@ def test_blocks_segment_grazing_edge_not_blocked():
     assert not r.blocks_segment((0.0, 4.0), (6.0, 4.0))
 
 
+def test_blocks_segment_through_corners_diagonal():
+    # The open segment runs through the interior along the square's diagonal,
+    # entering and leaving exactly at vertices: no proper edge crossing, and
+    # the whole-segment midpoint can land on a corner or outside the box.
+    r = rectangle(2.0, 2.0, 3.0, 3.0)
+    assert r.blocks_segment((0.0, 0.0), (4.0, 4.0))  # midpoint is corner (2, 2)
+    assert r.blocks_segment((0.0, 0.0), (8.0, 8.0))  # midpoint (4, 4) outside
+
+
+def test_blocks_segment_vertex_touch_not_blocked():
+    r = rectangle(2.0, 2.0, 3.0, 3.0)
+    # Ends exactly at a corner: never enters the interior.
+    assert not r.blocks_segment((0.0, 0.0), (2.0, 2.0))
+    # Crosses the corner transversally, interior stays on the other side.
+    assert not r.blocks_segment((1.0, 3.0), (3.0, 1.0))
+
+
 def test_blocks_segment_far_away_bbox_shortcut():
     r = rectangle(2.0, 2.0, 4.0, 4.0)
     assert not r.blocks_segment((10.0, 10.0), (12.0, 12.0))

@@ -57,6 +57,32 @@ def test_config_validation():
         DiffConfig(families=FAMS, strategy="bogus")
     with pytest.raises(ValueError, match="invariant"):
         DiffConfig(families=FAMS, invariants=("bogus",))
+    with pytest.raises(ValueError, match="workers"):
+        DiffConfig(families=FAMS, workers=0)
+
+
+def test_workers_fan_out_is_byte_identical_to_serial():
+    """workers is an execution knob: digest and report must not change."""
+    kwargs = dict(families=("sparse", "kcoverage"), budget=6, seed=7, eps=0.4)
+    serial = run_differential(DiffConfig(**kwargs))
+    pooled = run_differential(DiffConfig(**kwargs, workers=2))
+    assert pooled.stamps_digest == serial.stamps_digest
+    assert pooled.to_dict() == serial.to_dict()
+
+
+def test_workers_fan_out_still_catches_injected_bug(tmp_path):
+    ctx = InvariantContext(eps=0.4, solver=parity_bug_solver)
+    kwargs = dict(
+        families=("sparse",),
+        budget=2,
+        seed=3,
+        eps=0.4,
+        invariants=("budget_monotone",),
+    )
+    serial = run_differential(DiffConfig(**kwargs), ctx=ctx)
+    pooled = run_differential(DiffConfig(**kwargs, workers=2), ctx=ctx)
+    assert not pooled.ok
+    assert pooled.to_dict() == serial.to_dict()
 
 
 def test_injected_bug_is_caught_shrunk_and_replayable(tmp_path):
